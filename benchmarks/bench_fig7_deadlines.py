@@ -1,0 +1,84 @@
+"""Fig. 7: adaptation to varying flow deadlines.
+
+Base scenario with two ingresses and Poisson arrival, sweeping the flow
+deadline τ_f ∈ {20, 30, 40, 50}.  The paper reports two panels:
+
+- success ratio: with τ = 20 *every* flow is dropped (the shortest path
+  alone needs > 20 ms once the three 5 ms components are traversed);
+  success then rises with the deadline, and algorithms that exploit longer
+  deadlines with longer paths (DRL, GCASP) keep improving while SP
+  plateaus;
+- average end-to-end delay of completed flows: constant ≈ 21 ms for SP
+  (always the shortest path), growing with the deadline for the adaptive
+  algorithms (they trade delay for load balancing).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _config import SCALE, suite_config
+from repro.eval.runner import ALL_ALGORITHMS, SP, build_algorithm_suite
+from repro.eval.scenarios import base_scenario
+from repro.eval.tables import SweepTable
+
+EVAL_SEED_OFFSET = 1000
+
+
+def _run_deadline_sweep():
+    success = SweepTable(
+        title="Fig. 7 (top): success ratio vs. flow deadline",
+        parameter_name="deadline",
+        parameter_values=SCALE.deadlines,
+    )
+    delay = SweepTable(
+        title="Fig. 7 (bottom): avg end-to-end delay of completed flows",
+        parameter_name="deadline",
+        parameter_values=SCALE.deadlines,
+    )
+    for tau in SCALE.deadlines:
+        scenario = base_scenario(
+            pattern="poisson",
+            num_ingress=2,
+            deadline=tau,
+            horizon=SCALE.horizon,
+            capacity_seed=0,
+        )
+        suite = build_algorithm_suite(scenario, suite_config())
+        results = suite.compare(
+            eval_seeds=[EVAL_SEED_OFFSET + s for s in SCALE.eval_seeds]
+        )
+        for name in ALL_ALGORITHMS:
+            success.add_result(results[name])
+            delay.add(name, results[name].mean_delay)
+    return success, delay
+
+
+def test_fig7_varying_deadlines(benchmark, bench_report):
+    success, delay = benchmark.pedantic(_run_deadline_sweep, rounds=1, iterations=1)
+    for table in (success, delay):
+        rendered = table.render(cell_format="{mean:.3f}")
+        bench_report.append(rendered)
+        print()
+        print(rendered)
+
+    # Deadline 20 is infeasible: minimum end-to-end time exceeds it.
+    if 20.0 in SCALE.deadlines:
+        index = list(SCALE.deadlines).index(20.0)
+        for name in ALL_ALGORITHMS:
+            ratio = success.rows[name][index][0]
+            assert ratio < 0.05, f"{name} succeeded {ratio:.2f} at infeasible deadline 20"
+
+    # SP's completed-flow delay is pinned to the shortest path: roughly
+    # constant (~21 ms) across all feasible deadlines.
+    feasible = [
+        delay.rows[SP][i][0]
+        for i, tau in enumerate(SCALE.deadlines)
+        if tau >= 30.0 and not math.isnan(delay.rows[SP][i][0])
+    ]
+    if len(feasible) >= 2:
+        assert max(feasible) - min(feasible) < 3.0, (
+            f"SP delay should be ~constant across deadlines, got {feasible}"
+        )

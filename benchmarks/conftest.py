@@ -1,0 +1,26 @@
+"""Benchmark fixtures shared by all bench modules."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the sibling _config module importable regardless of invocation dir.
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture(scope="session")
+def bench_report():
+    """Collects rendered tables from all bench tests and prints them once
+    at the end of the session, so `pytest benchmarks/ --benchmark-only`
+    leaves a readable reproduction report in the output."""
+    sections = []
+    yield sections
+    if sections:
+        print("\n\n================ REPRODUCTION REPORT ================")
+        for section in sections:
+            print()
+            print(section)
+        print("=====================================================")

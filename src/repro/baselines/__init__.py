@@ -1,0 +1,26 @@
+"""Comparison algorithms: SP, GCASP, central DRL, random."""
+
+from repro.baselines.base import BasePolicy, CoordinationPolicy
+from repro.baselines.central_drl import (
+    CentralDRLConfig,
+    CentralDRLPolicy,
+    CentralizedCoordinationEnv,
+    RuleExecutor,
+    train_central_coordinator,
+)
+from repro.baselines.gcasp import GCASPPolicy
+from repro.baselines.random_policy import RandomPolicy
+from repro.baselines.shortest_path import ShortestPathPolicy
+
+__all__ = [
+    "BasePolicy",
+    "CoordinationPolicy",
+    "CentralDRLConfig",
+    "CentralDRLPolicy",
+    "CentralizedCoordinationEnv",
+    "RuleExecutor",
+    "train_central_coordinator",
+    "GCASPPolicy",
+    "RandomPolicy",
+    "ShortestPathPolicy",
+]

@@ -1,0 +1,456 @@
+"""Central DRL baseline [10] (Sec. V-A3).
+
+Schneider et al., "Self-driving network and service coordination using
+deep reinforcement learning" (CNSM 2020): a *single, centralized* DRL
+agent periodically refreshes coarse-grained scheduling rules that every
+node then applies to all incoming flows at runtime.  The ICDCS paper lists
+its defining properties, all reproduced here:
+
+- **periodic rule updates** — the agent acts once per monitoring interval,
+  not per flow; between updates the same rules apply to every flow;
+- **partial, delayed global observations** — the agent sees node
+  utilisations from the *previous* monitoring interval (periodic
+  monitoring à la Prometheus), so bursts within an interval are invisible;
+- **shortest-path routing, no link capacities** — flows always travel on
+  delay-shortest paths between their scheduled processing nodes; the rules
+  say nothing about links, so full links simply drop flows;
+- **no per-flow control** — all flows of a service in one interval are
+  scheduled to the same component targets.
+
+Rule model (the "scheduling weights" of [10], discretised): each interval
+the central agent assigns every service component a **target node**.  A
+flow requesting component ``c`` travels along shortest paths to ``c``'s
+target, is processed there (dropping on overflow — coarse rules cannot
+react within an interval), then heads for the next component's target, and
+finally to its egress.  The observation and action spaces grow linearly
+with the number of nodes — the centralized approach's scalability burden
+that Fig. 9 measures.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BasePolicy
+from repro.core.env import CoordinationEnvConfig
+from repro.core.rewards import RewardFunction
+from repro.rl.acktr import ACKTRConfig
+from repro.rl.policy import ActorCriticPolicy
+from repro.rl.training import MultiSeedResult, train_multi_seed
+from repro.services.service import ServiceCatalog
+from repro.sim.simulator import ACTION_PROCESS_LOCALLY, DecisionPoint, Simulator
+from repro.topology.network import Network
+
+__all__ = [
+    "CentralDRLConfig",
+    "RuleExecutor",
+    "CentralizedCoordinationEnv",
+    "CentralDRLPolicy",
+    "train_central_coordinator",
+]
+
+
+@dataclass(frozen=True)
+class CentralDRLConfig:
+    """Knobs of the centralized baseline.
+
+    Attributes:
+        update_interval: Simulation time between rule refreshes; also the
+            monitoring period — observations used at a refresh are one
+            interval old.
+    """
+
+    update_interval: float = 50.0
+    #: Sample per-flow targets from the policy's action distribution (the
+    #: literal "scheduling weights" reading of [10]).  Off by default:
+    #: deterministic argmax targets match how the rules were trained.
+    stochastic_rules: bool = False
+
+    def __post_init__(self) -> None:
+        if self.update_interval <= 0:
+            raise ValueError(
+                f"update_interval must be > 0, got {self.update_interval}"
+            )
+
+
+class RuleExecutor(BasePolicy):
+    """Applies the current component-target rules to flows at runtime.
+
+    This is the distributed *mechanism* of [10]: nodes execute the
+    installed rules locally; only the rule *computation* is centralized.
+    """
+
+    def __init__(self, network: Network, catalog: ServiceCatalog, seed: int = 0) -> None:
+        super().__init__(network, catalog)
+        self.component_names: List[str] = [c.name for c in catalog.components]
+        # Default rules: every component targeted at the first node; the
+        # agent overwrites these at the first refresh.
+        first = network.node_names[0]
+        self.targets: Dict[str, str] = {c: first for c in self.component_names}
+        #: Optional scheduling *weights* per component (probabilities over
+        #: network.node_names).  When set, each flow samples its target per
+        #: component from the weights — the weight-based scheduling of [10].
+        self.target_weights: Optional[Dict[str, np.ndarray]] = None
+        self._rng = np.random.default_rng(seed)
+        self._flow_targets: Dict[Tuple[int, str], str] = {}
+        #: Flows that arrived at their scheduled target and found it full;
+        #: they fall back to greedy processing along the path to egress.
+        self._spilled: set = set()
+
+    def set_targets(self, targets: Dict[str, str]) -> None:
+        """Install deterministic per-component targets (training mode)."""
+        missing = set(self.component_names) - set(targets)
+        if missing:
+            raise ValueError(f"rules missing targets for components: {sorted(missing)}")
+        for component, node in targets.items():
+            if not self.network.has_node(node):
+                raise ValueError(f"target {node!r} for {component!r} not in network")
+        self.targets = dict(targets)
+        self.target_weights = None
+
+    def set_target_weights(self, weights: Dict[str, np.ndarray]) -> None:
+        """Install probabilistic scheduling weights (inference mode).
+
+        Each flow's target for a component is sampled once (when the flow
+        first requests that component) from the component's weight vector
+        over all nodes; in-flight flows keep their assignment across rule
+        refreshes so routing stays consistent.
+        """
+        missing = set(self.component_names) - set(weights)
+        if missing:
+            raise ValueError(f"weights missing for components: {sorted(missing)}")
+        for component, probs in weights.items():
+            probs = np.asarray(probs, dtype=np.float64)
+            if probs.shape != (self.network.num_nodes,) or probs.min() < -1e-12:
+                raise ValueError(
+                    f"weights for {component!r} must be a non-negative vector over "
+                    f"all {self.network.num_nodes} nodes"
+                )
+            if abs(probs.sum() - 1.0) > 1e-6:
+                raise ValueError(f"weights for {component!r} must sum to 1")
+        self.target_weights = {c: np.asarray(w, dtype=np.float64) for c, w in weights.items()}
+
+    def _target_for(self, flow_id: int, component: str) -> str:
+        if self.target_weights is None:
+            return self.targets[component]
+        key = (flow_id, component)
+        assigned = self._flow_targets.get(key)
+        if assigned is None:
+            index = int(
+                self._rng.choice(self.network.num_nodes, p=self.target_weights[component])
+            )
+            assigned = self.network.node_names[index]
+            self._flow_targets[key] = assigned
+        return assigned
+
+    def __call__(self, decision: DecisionPoint, sim: Simulator) -> int:
+        flow, node = decision.flow, decision.node
+        if flow.fully_processed:
+            # Shortest-path routing toward the egress.
+            return self.shortest_path_action(decision)
+        service = self.catalog.service(flow.service)
+        component = service.component_at(flow.component_index)
+        spill_key = (flow.flow_id, component.name)
+        if spill_key in self._spilled:
+            # Burst overflow: the scheduled target was full when the flow
+            # got there.  The rules cannot reschedule within the interval,
+            # so the flow limps toward its egress, processing wherever free
+            # capacity happens to exist on the way (best-effort salvage).
+            if self.can_process_here(decision, sim):
+                return ACTION_PROCESS_LOCALLY
+            return self.shortest_path_action(decision)
+        target = self._target_for(flow.flow_id, component.name)
+        if node == target:
+            if self.can_process_here(decision, sim):
+                return ACTION_PROCESS_LOCALLY
+            if node == flow.egress:
+                return ACTION_PROCESS_LOCALLY  # forced attempt; will drop
+            self._spilled.add(spill_key)
+            return self.shortest_path_action(decision)
+        next_hop = self.network.next_hop(node, target)
+        if next_hop is None:
+            # Target unreachable: process locally as a degenerate fallback.
+            return ACTION_PROCESS_LOCALLY
+        return self.forward_action(node, next_hop)
+
+
+def _observation_size(network: Network, catalog: ServiceCatalog) -> int:
+    return 2 * network.num_nodes + len(catalog.components) + 1
+
+
+def _capacity_vector(network: Network) -> np.ndarray:
+    """Static node capacities normalised by the network-wide maximum —
+    global knowledge a centralized controller legitimately has."""
+    norm = max(network.max_node_capacity, 1e-12)
+    return np.array([network.node(n).capacity / norm for n in network.node_names])
+
+
+def _build_observation(
+    capacities: np.ndarray,
+    snapshot: np.ndarray,
+    component_index: int,
+    num_components: int,
+    progress: float,
+) -> np.ndarray:
+    one_hot = np.zeros(num_components)
+    one_hot[component_index] = 1.0
+    return np.concatenate([capacities, snapshot, one_hot, [progress]])
+
+
+class CentralizedCoordinationEnv:
+    """RL environment training the centralized rule-setting agent.
+
+    One *interval* of simulated time is decomposed into one micro-step per
+    service component: the agent picks that component's target node
+    (action space = |V|).  After the last component's target is set, the
+    simulator runs the whole interval under the new rules; the interval's
+    accumulated reward (same reward function as the distributed approach)
+    is granted on the last micro-step.
+
+    Observation per micro-step (size ``|V| + |C| + 1``): delayed global
+    node utilisations (previous interval's snapshot), one-hot of the
+    component being scheduled, and episode progress.
+    """
+
+    def __init__(
+        self,
+        env_config: CoordinationEnvConfig,
+        central_config: CentralDRLConfig = CentralDRLConfig(),
+        seed: Optional[int] = None,
+    ) -> None:
+        self.env_config = env_config
+        self.central_config = central_config
+        self.network = env_config.network
+        self.catalog = env_config.catalog
+        self.nodes: List[str] = self.network.node_names
+        self.component_names = [c.name for c in self.catalog.components]
+        self.observation_size = _observation_size(self.network, self.catalog)
+        self.num_actions = len(self.nodes)
+        self.reward_function = RewardFunction(self.network, env_config.reward)
+        self._capacities = _capacity_vector(self.network)
+        self._seed_seq = np.random.SeedSequence(seed)
+        self._sim: Optional[Simulator] = None
+        self._executor = RuleExecutor(self.network, self.catalog)
+        self._pending: Optional[DecisionPoint] = None
+        self._component_index = 0
+        self._draft: Dict[str, str] = {}
+        self._snapshot = np.zeros(len(self.nodes))
+        self._next_boundary = 0.0
+        self._done = True
+
+    # ------------------------------------------------------------------
+
+    def _utilization_snapshot(self) -> np.ndarray:
+        assert self._sim is not None
+        return np.array(
+            [
+                self._sim.state.node_load(n) / max(self.network.node(n).capacity, 1e-12)
+                for n in self.nodes
+            ]
+        )
+
+    def _observation(self) -> np.ndarray:
+        horizon = self.env_config.sim_config.horizon
+        return _build_observation(
+            self._capacities,
+            self._snapshot,
+            self._component_index,
+            len(self.component_names),
+            min(1.0, self._next_boundary / horizon),
+        )
+
+    def reset(self) -> np.ndarray:
+        child = self._seed_seq.spawn(1)[0]
+        rng = np.random.default_rng(child)
+        traffic = self.env_config.traffic_factory(rng)
+        self._sim = Simulator(
+            self.network, self.catalog, traffic, self.env_config.sim_config
+        )
+        self._executor = RuleExecutor(self.network, self.catalog)
+        self._pending = None
+        self._component_index = 0
+        self._draft = {}
+        self._snapshot = np.zeros(len(self.nodes))
+        self._next_boundary = self.central_config.update_interval
+        self._done = False
+        return self._observation()
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        if self._done:
+            raise RuntimeError("episode finished; call reset()")
+        assert self._sim is not None
+        if not 0 <= action < len(self.nodes):
+            raise ValueError(f"central action must index a node, got {action}")
+        component = self.component_names[self._component_index]
+        self._draft[component] = self.nodes[action]
+        self._component_index += 1
+        if self._component_index < len(self.component_names):
+            return self._observation(), 0.0, False, {}
+
+        # Rules complete: install them, run the interval, snapshot state
+        # for the *next* refresh (one interval of monitoring delay).
+        self._executor.set_targets(self._draft)
+        self._draft = {}
+        self._component_index = 0
+        reward = self._run_interval()
+        info: Dict[str, Any] = {}
+        if self._done:
+            metrics = self._sim.finalize()
+            info = {
+                "success_ratio": metrics.success_ratio,
+                "flows_generated": metrics.flows_generated,
+                "flows_succeeded": metrics.flows_succeeded,
+                "flows_dropped": metrics.flows_dropped,
+                "avg_end_to_end_delay": metrics.avg_end_to_end_delay,
+            }
+            return np.zeros(self.observation_size), reward, True, info
+        self._snapshot = self._utilization_snapshot()
+        self._next_boundary += self.central_config.update_interval
+        return self._observation(), reward, False, info
+
+    def _run_interval(self) -> float:
+        """Drive the simulator to the next interval boundary under the
+        current rules; returns the interval's accumulated reward."""
+        assert self._sim is not None
+        reward = 0.0
+        while True:
+            if self._pending is None:
+                self._pending = self._sim.next_decision()
+                reward += self.reward_function.total(self._sim.drain_outcomes())
+                if self._pending is None:
+                    self._done = True
+                    return reward
+            if self._pending.time >= self._next_boundary:
+                return reward
+            decision = self._pending
+            self._pending = None
+            self._sim.apply_action(self._executor(decision, self._sim))
+            reward += self.reward_function.total(self._sim.drain_outcomes())
+
+
+class CentralDRLPolicy:
+    """Inference-time central DRL coordinator (simulator policy callable).
+
+    Wraps the trained rule-setting network.  On the first decision at or
+    after each interval boundary, the central agent recomputes all
+    component targets from the (delayed) monitoring snapshot — this is the
+    centralized work whose latency grows with network size (Fig. 9b).  All
+    flow decisions are then answered from the installed rules.
+
+    Attributes:
+        rule_update_seconds: Wall-clock seconds per rule refresh.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        catalog: ServiceCatalog,
+        policy: ActorCriticPolicy,
+        central_config: CentralDRLConfig = CentralDRLConfig(),
+        horizon: float = 20000.0,
+    ) -> None:
+        expected = _observation_size(network, catalog)
+        if policy.obs_dim != expected:
+            raise ValueError(
+                f"central policy expects obs size {policy.obs_dim}, this network/"
+                f"catalog needs {expected}"
+            )
+        self.network = network
+        self.catalog = catalog
+        self.nodes = network.node_names
+        self.component_names = [c.name for c in catalog.components]
+        self.policy = policy
+        self.config = central_config
+        self.horizon = horizon
+        self.executor = RuleExecutor(network, catalog)
+        self.rule_update_seconds: List[float] = []
+        self._capacities = _capacity_vector(network)
+        self._snapshot = np.zeros(len(self.nodes))
+        self._next_refresh = 0.0
+
+    def _refresh_rules(self, sim: Simulator, now: float) -> None:
+        start = _time.perf_counter()
+        progress = min(1.0, now / self.horizon)
+        weights: Dict[str, np.ndarray] = {}
+        targets: Dict[str, str] = {}
+        for index, component in enumerate(self.component_names):
+            obs = _build_observation(
+                self._capacities, self._snapshot, index,
+                len(self.component_names), progress,
+            )
+            distribution = self.policy.distribution(obs[None, :])
+            weights[component] = distribution.probs[0]
+            targets[component] = self.nodes[int(distribution.mode()[0])]
+        if self.config.stochastic_rules:
+            # The literal scheduling-weights reading of [10]: each flow
+            # samples its processing node from the learned distribution.
+            self.executor.set_target_weights(weights)
+        else:
+            self.executor.set_targets(targets)
+        # Snapshot after deciding: the next refresh sees state that is one
+        # interval old, modelling periodic monitoring delay.
+        self._snapshot = np.array(
+            [
+                sim.state.node_load(n) / max(self.network.node(n).capacity, 1e-12)
+                for n in self.nodes
+            ]
+        )
+        self.rule_update_seconds.append(_time.perf_counter() - start)
+
+    def __call__(self, decision: DecisionPoint, sim: Simulator) -> int:
+        if decision.time >= self._next_refresh:
+            self._refresh_rules(sim, decision.time)
+            self._next_refresh = decision.time + self.config.update_interval
+        return self.executor(decision, sim)
+
+    def fresh(self) -> "CentralDRLPolicy":
+        """A new inference instance sharing the trained network but with
+        clean runtime state (rules, snapshots, spill memory) — use one per
+        evaluation run."""
+        return CentralDRLPolicy(
+            self.network, self.catalog, self.policy, self.config, self.horizon
+        )
+
+    @property
+    def mean_rule_update_seconds(self) -> float:
+        if not self.rule_update_seconds:
+            return 0.0
+        return float(np.mean(self.rule_update_seconds))
+
+
+def train_central_coordinator(
+    env_config: CoordinationEnvConfig,
+    central_config: CentralDRLConfig = CentralDRLConfig(),
+    rl_config: ACKTRConfig = ACKTRConfig(),
+    seeds: Sequence[int] = (0, 1),
+    updates_per_seed: int = 60,
+    algorithm: str = "acktr",
+    verbose: bool = False,
+) -> Tuple[CentralDRLPolicy, MultiSeedResult]:
+    """Train the central rule-setting agent and wrap it for inference."""
+    counter = [0]
+
+    def env_factory() -> CentralizedCoordinationEnv:
+        counter[0] += 1
+        return CentralizedCoordinationEnv(env_config, central_config, seed=counter[0])
+
+    multi_seed = train_multi_seed(
+        env_factory,
+        config=rl_config,
+        seeds=seeds,
+        updates_per_seed=updates_per_seed,
+        algorithm=algorithm,
+        verbose=verbose,
+    )
+    policy = CentralDRLPolicy(
+        env_config.network,
+        env_config.catalog,
+        multi_seed.best_policy,
+        central_config,
+        horizon=env_config.sim_config.horizon,
+    )
+    return policy, multi_seed

@@ -1,0 +1,40 @@
+"""Uniform-random policy — a sanity floor for tests and ablations.
+
+Not part of the paper's comparison, but useful: any learning algorithm
+must comfortably beat it, and its episode statistics exercise every drop
+path of the simulator (invalid actions included).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.simulator import DecisionPoint, Simulator
+from repro.topology.network import Network
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy:
+    """Uniform over the full padded action space ``{0, ..., Δ_G}``.
+
+    Args:
+        network: Supplies the action-space size.
+        seed: Reproducible sampling.
+        valid_only: Restrict to actions that do not point at dummy
+            neighbors (still uniformly random among those).
+    """
+
+    def __init__(self, network: Network, seed: int = 0, valid_only: bool = False) -> None:
+        self.network = network
+        self.rng = np.random.default_rng(seed)
+        self.valid_only = valid_only
+
+    def __call__(self, decision: DecisionPoint, sim: Simulator) -> int:
+        if self.valid_only:
+            high = self.network.degree_of(decision.node) + 1
+        else:
+            high = self.network.degree + 1
+        return int(self.rng.integers(high))

@@ -1,0 +1,31 @@
+"""SP: the greedy shortest-path baseline (Sec. V-A3).
+
+"A simple greedy baseline, which tries to process all flows along the
+shortest path from ingress to egress."  At each node on the delay-shortest
+path the flow's next component is processed whenever the node has free
+compute; otherwise the flow moves one hop further along the shortest path.
+SP never deviates from the shortest path and never reacts to link load, so
+it "relies on sufficient resources along the shortest path and thus easily
+drops flows" — the behaviour Figs. 6-9 show.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BasePolicy
+from repro.sim.simulator import ACTION_PROCESS_LOCALLY, DecisionPoint, Simulator
+
+__all__ = ["ShortestPathPolicy"]
+
+
+class ShortestPathPolicy(BasePolicy):
+    """Greedy processing along the delay-shortest path to the egress."""
+
+    def __call__(self, decision: DecisionPoint, sim: Simulator) -> int:
+        flow, node = decision.flow, decision.node
+        if not flow.fully_processed and self.can_process_here(decision, sim):
+            return ACTION_PROCESS_LOCALLY
+        if not flow.fully_processed and node == flow.egress:
+            # End of the path with components still unprocessed and no free
+            # compute: SP has no fallback — attempt locally (and drop).
+            return ACTION_PROCESS_LOCALLY
+        return self.shortest_path_action(decision)

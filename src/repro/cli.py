@@ -1,0 +1,197 @@
+"""Command-line interface.
+
+Gives downstream users the full pipeline without writing Python::
+
+    python -m repro topology                       # Table I statistics
+    python -m repro train --pattern poisson --ingress 2 -o policy.npz
+    python -m repro evaluate --policy policy.npz --pattern mmpp
+    python -m repro evaluate --algorithm sp --pattern poisson
+    python -m repro compare --pattern poisson --ingress 3
+
+All scenario knobs mirror :func:`repro.eval.scenarios.base_scenario`
+(topology, traffic pattern, number of ingresses, deadline, horizon,
+capacity seed); training knobs mirror
+:class:`repro.core.trainer.TrainingConfig`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", default="Abilene",
+                        help="Abilene, 'BT Europe', 'China Telecom', Interroute")
+    parser.add_argument("--pattern", default="poisson",
+                        choices=["fixed", "poisson", "mmpp", "trace"],
+                        help="flow arrival pattern (Fig. 6)")
+    parser.add_argument("--ingress", type=int, default=2,
+                        help="number of ingress nodes v1..vk (1-5 in the paper)")
+    parser.add_argument("--deadline", type=float, default=100.0,
+                        help="flow deadline tau_f")
+    parser.add_argument("--horizon", type=float, default=1000.0,
+                        help="simulated time span T")
+    parser.add_argument("--capacity-seed", type=int, default=0,
+                        help="seed of the random capacity assignment")
+
+
+def _scenario_from_args(args: argparse.Namespace):
+    from repro.eval.scenarios import base_scenario
+
+    return base_scenario(
+        pattern=args.pattern,
+        num_ingress=args.ingress,
+        deadline=args.deadline,
+        horizon=args.horizon,
+        topology=args.topology,
+        capacity_seed=args.capacity_seed,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed DRL service coordination (ICDCS 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topo = sub.add_parser("topology", help="print Table I topology statistics")
+    topo.add_argument("--name", default=None,
+                      help="show one topology's details instead of the table")
+
+    train = sub.add_parser("train", help="train the distributed DRL coordinator")
+    _add_scenario_args(train)
+    train.add_argument("-o", "--output", required=True,
+                       help="path for the trained policy (.npz)")
+    train.add_argument("--seeds", type=int, default=2,
+                       help="training seeds k (paper: 10)")
+    train.add_argument("--updates", type=int, default=400,
+                       help="gradient updates per seed")
+    train.add_argument("--algorithm", default="acktr", choices=["acktr", "a2c"])
+    train.add_argument("--quiet", action="store_true")
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a policy on a scenario")
+    _add_scenario_args(evaluate)
+    group = evaluate.add_mutually_exclusive_group(required=True)
+    group.add_argument("--policy", help="trained policy file (.npz)")
+    group.add_argument("--algorithm", choices=["sp", "gcasp", "random"],
+                       help="hand-written baseline instead of a trained policy")
+    evaluate.add_argument("--eval-seeds", type=int, default=3,
+                          help="number of traffic realisations")
+
+    compare = sub.add_parser("compare", help="train + compare all four algorithms")
+    _add_scenario_args(compare)
+    compare.add_argument("--updates", type=int, default=400)
+    compare.add_argument("--seeds", type=int, default=2)
+    compare.add_argument("--eval-seeds", type=int, default=3)
+    return parser
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.eval.tables import render_table1
+    from repro.topology.zoo import table1_stats, topology_by_name
+
+    if args.name is None:
+        print(render_table1(table1_stats()))
+        return 0
+    net = topology_by_name(args.name)
+    print(f"{net.name}: {net.num_nodes} nodes, {net.num_links} links, "
+          f"degree {net.min_degree}/{net.degree}/{net.avg_degree:.2f}, "
+          f"diameter {net.diameter:.2f}")
+    for node in net.node_names:
+        print(f"  {node}: cap={net.node(node).capacity:.2f} "
+              f"neighbors={','.join(net.neighbors(node))}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.trainer import TrainingConfig, train_coordinator
+
+    scenario = _scenario_from_args(args)
+    config = TrainingConfig(
+        algorithm=args.algorithm,
+        seeds=tuple(range(args.seeds)),
+        updates_per_seed=args.updates,
+        n_steps=64,
+    )
+    if not args.quiet:
+        print(f"Training on {args.topology} / {args.pattern} / "
+              f"{args.ingress} ingress ({args.seeds} seeds x {args.updates} updates)")
+    result = train_coordinator(scenario, config, verbose=not args.quiet)
+    result.multi_seed.best_policy.save(args.output)
+    print(f"Saved best policy (seed {result.best_seed}) to {args.output}")
+    return 0
+
+
+def _build_policy(args: argparse.Namespace, scenario):
+    from repro.baselines import GCASPPolicy, RandomPolicy, ShortestPathPolicy
+    from repro.core.agent import DistributedCoordinator
+    from repro.rl.policy import ActorCriticPolicy
+
+    if args.policy is not None:
+        trained = ActorCriticPolicy.load(args.policy)
+        return lambda: DistributedCoordinator(
+            scenario.network, scenario.catalog, trained
+        )
+    if args.algorithm == "sp":
+        return lambda: ShortestPathPolicy(scenario.network, scenario.catalog)
+    if args.algorithm == "gcasp":
+        return lambda: GCASPPolicy(scenario.network, scenario.catalog)
+    return lambda: RandomPolicy(scenario.network, seed=0)
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.eval.runner import evaluate_policy_on_scenario
+
+    scenario = _scenario_from_args(args)
+    factory = _build_policy(args, scenario)
+    name = args.policy or args.algorithm
+    result = evaluate_policy_on_scenario(
+        scenario, factory, name,
+        eval_seeds=range(args.eval_seeds), time_decisions=True,
+    )
+    print(result.summary())
+    print(f"mean decision time: {result.mean_decision_ms:.3f} ms")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.eval.runner import ALL_ALGORITHMS, SuiteConfig, build_algorithm_suite
+
+    scenario = _scenario_from_args(args)
+    suite = build_algorithm_suite(
+        scenario,
+        SuiteConfig(
+            train_seeds=tuple(range(args.seeds)),
+            train_updates=args.updates,
+            n_steps=64,
+        ),
+    )
+    results = suite.compare(eval_seeds=range(1000, 1000 + args.eval_seeds))
+    print(f"{'algorithm':<18} {'success':>14} {'avg delay':>10}")
+    for name in ALL_ALGORITHMS:
+        r = results[name]
+        print(f"{name:<18} {r.mean_success:>8.3f}±{r.std_success:.3f} "
+              f"{r.mean_delay:>10.1f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "topology": _cmd_topology,
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+        "compare": _cmd_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

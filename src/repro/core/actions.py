@@ -1,0 +1,86 @@
+"""Action adapter: the shared discrete action space of Sec. IV-B2.
+
+Every agent's action space is ``{0, 1, ..., Δ_G}``:
+
+- ``a = 0`` — process the flow locally (implicitly scaling/placing an
+  instance), or keep it one time step if it is already fully processed;
+- ``a ∈ {1, ..., Δ_G}`` — forward the flow to the node's a-th neighbor
+  (sorted order).  At nodes with fewer than Δ_G neighbors the surplus
+  actions point at non-existing dummy neighbors: taking one drops the
+  flow with a high penalty.
+
+The *execution* of actions lives in the simulator
+(:meth:`repro.sim.simulator.Simulator.apply_action`); this adapter supplies
+the space description and validity helpers, e.g. for action masking
+ablations and for hand-written policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.spaces import Discrete
+from repro.topology.network import Network
+
+__all__ = ["ActionAdapter", "ACTION_PROCESS_LOCALLY"]
+
+#: Alias re-exported for convenience.
+from repro.sim.simulator import ACTION_PROCESS_LOCALLY
+
+
+class ActionAdapter:
+    """Maps between DRL actions and coordination decisions for a network."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        #: ``Δ_G + 1`` actions, identical for every agent.
+        self.space = Discrete(network.degree + 1)
+
+    @property
+    def num_actions(self) -> int:
+        return self.space.n
+
+    def is_valid(self, node: str, action: int) -> bool:
+        """True when ``action`` does not point at a dummy neighbor of ``node``.
+
+        Action 0 is always valid (locally processing or keeping).  Note a
+        "valid" forward can still drop the flow at runtime (full link).
+        """
+        if not self.space.contains(action):
+            return False
+        return action == 0 or action <= self.network.degree_of(node)
+
+    def valid_action_mask(self, node: str) -> np.ndarray:
+        """Boolean mask of shape (Δ_G + 1,), True for valid actions.
+
+        The paper's agents *learn* to avoid dummy neighbors from the -1
+        observations and the drop penalty; this mask enables the masking
+        ablation (and is used by hand-written baselines).
+        """
+        mask = np.zeros(self.num_actions, dtype=bool)
+        mask[0] = True
+        mask[1 : self.network.degree_of(node) + 1] = True
+        return mask
+
+    def target_of(self, node: str, action: int) -> str:
+        """The node an action routes to: ``node`` itself for 0, else the
+        a-th neighbor.  Raises for dummy-neighbor actions."""
+        if action == ACTION_PROCESS_LOCALLY:
+            return node
+        neighbors = self.network.neighbors(node)
+        if not 1 <= action <= len(neighbors):
+            raise ValueError(
+                f"action {action} points at a dummy neighbor of {node!r} "
+                f"({len(neighbors)} real neighbors)"
+            )
+        return neighbors[action - 1]
+
+    def action_for_target(self, node: str, target: str) -> int:
+        """Inverse of :meth:`target_of` (used by hand-written baselines)."""
+        if target == node:
+            return ACTION_PROCESS_LOCALLY
+        neighbors = self.network.neighbors(node)
+        try:
+            return neighbors.index(target) + 1
+        except ValueError:
+            raise ValueError(f"{target!r} is not a neighbor of {node!r}") from None

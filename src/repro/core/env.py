@@ -1,0 +1,151 @@
+"""Gym-style environment over the flow-level simulator.
+
+This is the "adapter" of the paper's implementation (Fig. 5): it connects
+a DRL agent to the network simulation by translating pending coordination
+decisions into observations, agent outputs into simulator actions, and
+simulator outcomes into rewards.
+
+One *episode* is one simulated horizon; one *step* is one coordination
+decision (any flow at any node).  Training one shared network over this
+stream of per-node decisions is exactly the paper's centralized-training
+scheme: experience from all (virtual) per-node agents flows into a single
+policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.actions import ActionAdapter
+from repro.core.observations import ObservationAdapter
+from repro.core.rewards import RewardConfig, RewardFunction
+from repro.services.service import ServiceCatalog
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import DecisionPoint, Simulator
+from repro.topology.network import Network
+from repro.traffic.flows import FlowSpec
+
+__all__ = ["CoordinationEnvConfig", "ServiceCoordinationEnv"]
+
+#: Builds the (time-ordered) traffic for one episode from an rng.
+TrafficFactory = Callable[[np.random.Generator], Iterable[FlowSpec]]
+
+
+@dataclass(frozen=True)
+class CoordinationEnvConfig:
+    """Everything needed to instantiate episodes of one scenario.
+
+    Attributes:
+        network: Substrate network (with ingress/egress sets).
+        catalog: Available services.
+        traffic_factory: Called once per episode with a fresh generator;
+            must return the episode's flows in arrival-time order.
+        sim_config: Simulator knobs (horizon etc.).
+        reward: Reward magnitudes / shaping switches.
+    """
+
+    network: Network
+    catalog: ServiceCatalog
+    traffic_factory: TrafficFactory
+    sim_config: SimulationConfig = SimulationConfig()
+    reward: RewardConfig = RewardConfig()
+
+    def with_network(self, network: Network) -> "CoordinationEnvConfig":
+        """Copy of this config over a different network (generalization
+        experiments test a policy trained on one scenario in another)."""
+        return replace(self, network=network)
+
+
+class ServiceCoordinationEnv:
+    """Per-decision RL environment over :class:`~repro.sim.simulator.Simulator`.
+
+    Implements the :class:`repro.rl.runner.Env` protocol.  Observation and
+    action spaces are sized by the network degree Δ_G (``4Δ_G + 4`` and
+    ``Δ_G + 1``), invariant to the number of nodes — the paper's key
+    scalability property.
+
+    Args:
+        config: Scenario description.
+        seed: Base seed; each :meth:`reset` draws a fresh child seed so
+            parallel env copies and successive episodes see different
+            traffic realisations.
+    """
+
+    def __init__(self, config: CoordinationEnvConfig, seed: Optional[int] = None) -> None:
+        self.config = config
+        self.observation_adapter = ObservationAdapter(config.network, config.catalog)
+        self.action_adapter = ActionAdapter(config.network)
+        self.reward_function = RewardFunction(config.network, config.reward)
+        self.observation_size = self.observation_adapter.size
+        self.num_actions = self.action_adapter.num_actions
+        self._seed_seq = np.random.SeedSequence(seed)
+        self._sim: Optional[Simulator] = None
+        self._decision: Optional[DecisionPoint] = None
+        self._episode_done = True
+
+    # ------------------------------------------------------------------
+
+    @property
+    def simulator(self) -> Simulator:
+        """The live simulator of the current episode (for baselines/tests)."""
+        if self._sim is None:
+            raise RuntimeError("environment not reset yet")
+        return self._sim
+
+    @property
+    def current_decision(self) -> Optional[DecisionPoint]:
+        return self._decision
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode; returns the first decision's observation."""
+        child = self._seed_seq.spawn(1)[0]
+        rng = np.random.default_rng(child)
+        traffic = self.config.traffic_factory(rng)
+        self._sim = Simulator(
+            self.config.network, self.config.catalog, traffic, self.config.sim_config
+        )
+        self._decision = self._sim.next_decision()
+        self._sim.drain_outcomes()
+        self._episode_done = self._decision is None
+        if self._decision is None:
+            # Degenerate scenario with no flows before the horizon: return
+            # a zero observation; the first step will terminate immediately.
+            return np.zeros(self.observation_size)
+        return self.observation_adapter.build(self._decision, self._sim)
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        """Resolve the pending decision and advance to the next one.
+
+        The step reward aggregates every outcome that materialised between
+        this decision and the next — immediate shaping (link penalty,
+        instance bonus) as well as terminal credits of *other* flows that
+        completed or dropped in the meantime.  Pooling credit this way is
+        what lets one shared network learn from all agents' experience.
+        """
+        if self._sim is None:
+            raise RuntimeError("call reset() before step()")
+        if self._episode_done:
+            raise RuntimeError("episode finished; call reset()")
+        assert self._decision is not None
+        self._sim.apply_action(action)
+        next_decision = self._sim.next_decision()
+        reward = self.reward_function.total(self._sim.drain_outcomes())
+        self._decision = next_decision
+        info: Dict[str, Any] = {}
+        if next_decision is None:
+            self._episode_done = True
+            metrics = self._sim.finalize()
+            info = {
+                "success_ratio": metrics.success_ratio,
+                "flows_generated": metrics.flows_generated,
+                "flows_succeeded": metrics.flows_succeeded,
+                "flows_dropped": metrics.flows_dropped,
+                "avg_end_to_end_delay": metrics.avg_end_to_end_delay,
+            }
+            obs = np.zeros(self.observation_size)
+        else:
+            obs = self.observation_adapter.build(next_decision, self._sim)
+        return obs, float(reward), self._episode_done, info

@@ -1,0 +1,205 @@
+"""Observation adapter: the local, partial observation of Sec. IV-B1.
+
+Each DRL agent observes only the incoming flow, its own node, and its
+direct neighbors:
+
+    O = < F_f, R^L_v, R^V_v, D_{v,f}, X_v >
+
+======  ============================  =========  ==========================
+Part    Meaning                       Size       Range
+======  ============================  =========  ==========================
+F_f     flow progress + deadline      2          [0, 1]
+R^L_v   free link rate per neighbor   Δ_G        [-1, 1] (dummy: -1)
+R^V_v   free compute at v+neighbors   Δ_G + 1    [-1, 1] (dummy: -1)
+D_v,f   egress reachability/neighbor  Δ_G        [-1, 1] (dummy: -1)
+X_v     instance of c_f available?    Δ_G + 1    {0, 1}  (dummy: -1)
+======  ============================  =========  ==========================
+
+Total: ``4 Δ_G + 4``.  All agents share the same observation size — nodes
+with fewer than Δ_G neighbors are padded with dummy entries of -1 — which
+is what allows training a single network from all agents' experience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.rl.spaces import Box
+from repro.services.service import ServiceCatalog
+from repro.sim.simulator import DecisionPoint, Simulator
+from repro.topology.network import Network
+from repro.traffic.flows import Flow
+
+__all__ = ["ObservationAdapter", "ObservationParts"]
+
+#: Value marking dummy (non-existing) neighbors in padded observations.
+DUMMY = -1.0
+
+
+@dataclass(frozen=True)
+class ObservationParts:
+    """The five observation components, before concatenation.
+
+    Useful in tests and for interpretability: each part can be checked
+    against the paper's formulas independently.
+    """
+
+    flow_attributes: np.ndarray   # F_f, size 2
+    link_utilization: np.ndarray  # R^L_v, size Δ_G
+    node_utilization: np.ndarray  # R^V_v, size Δ_G + 1
+    delays_to_egress: np.ndarray  # D_{v,f}, size Δ_G
+    available_instances: np.ndarray  # X_v, size Δ_G + 1
+
+    def concatenate(self) -> np.ndarray:
+        return np.concatenate(
+            [
+                self.flow_attributes,
+                self.link_utilization,
+                self.node_utilization,
+                self.delays_to_egress,
+                self.available_instances,
+            ]
+        )
+
+
+class ObservationAdapter:
+    """Builds the paper's padded local observation vector for any node.
+
+    Args:
+        network: Substrate network (provides Δ_G, neighbor order, shortest
+            path delays, capacity normalisers).
+        catalog: Service catalog (resource demand of the requested
+            component).
+    """
+
+    def __init__(self, network: Network, catalog: ServiceCatalog) -> None:
+        self.network = network
+        self.catalog = catalog
+        self.degree = network.degree
+        self.size = 4 * self.degree + 4
+        #: Gym-style observation space descriptor.
+        self.space = Box(low=-1.0, high=1.0, shape=(self.size,))
+        # max_{v'' in V} cap_{v''}: node observations are normalised by the
+        # network-wide maximum so agents can spot absolutely large nodes.
+        self._max_node_capacity = max(network.max_node_capacity, 1e-12)
+        self._max_link_capacity = {
+            v: max(network.max_link_capacity_at(v), 1e-12)
+            for v in network.node_names
+        }
+
+    @property
+    def part_slices(self) -> Dict[str, slice]:
+        """Index ranges of the five parts inside the concatenated vector.
+
+        Keys: ``flow``, ``links``, ``nodes``, ``delays``, ``instances``.
+        Used by observation-ablation experiments to mask single parts.
+        """
+        d = self.degree
+        return {
+            "flow": slice(0, 2),
+            "links": slice(2, 2 + d),
+            "nodes": slice(2 + d, 3 + 2 * d),
+            "delays": slice(3 + 2 * d, 3 + 3 * d),
+            "instances": slice(3 + 3 * d, 4 + 4 * d),
+        }
+
+    # ------------------------------------------------------------------
+
+    def build(self, decision: DecisionPoint, sim: Simulator) -> np.ndarray:
+        """Observation vector for a pending decision."""
+        return self.build_parts(decision, sim).concatenate()
+
+    def build_parts(self, decision: DecisionPoint, sim: Simulator) -> ObservationParts:
+        """The five observation components for a pending decision."""
+        flow, node, now = decision.flow, decision.node, decision.time
+        neighbors = self.network.neighbors(node)
+        pad = self.degree - len(neighbors)
+
+        return ObservationParts(
+            flow_attributes=self._flow_attributes(flow, now),
+            link_utilization=self._link_utilization(flow, node, neighbors, pad, sim),
+            node_utilization=self._node_utilization(flow, node, neighbors, pad, sim),
+            delays_to_egress=self._delays_to_egress(flow, node, neighbors, pad, now),
+            available_instances=self._available_instances(flow, node, neighbors, pad, sim),
+        )
+
+    # ------------------------------------------------------------------
+    # The five parts (Sec. IV-B1 a-e)
+    # ------------------------------------------------------------------
+
+    def _flow_attributes(self, flow: Flow, now: float) -> np.ndarray:
+        """F_f = <p̂_f, τ̂_f>: chain progress and normalised remaining time."""
+        return np.array(
+            [flow.progress, flow.normalized_remaining_time(now)], dtype=np.float64
+        )
+
+    def _link_utilization(
+        self, flow: Flow, node: str, neighbors: List[str], pad: int, sim: Simulator
+    ) -> np.ndarray:
+        """R^L_v: free rate minus λ_f per outgoing link, normalised by the
+        largest outgoing-link capacity; >= 0 iff the link can carry f."""
+        norm = self._max_link_capacity[node]
+        values = [
+            (sim.state.link_free(node, nb) - flow.data_rate) / norm
+            for nb in neighbors
+        ]
+        values.extend([DUMMY] * pad)
+        return np.clip(np.array(values, dtype=np.float64), -1.0, 1.0)
+
+    def _node_utilization(
+        self, flow: Flow, node: str, neighbors: List[str], pad: int, sim: Simulator
+    ) -> np.ndarray:
+        """R^V_v: free compute minus r_c(λ_f) at v and each neighbor,
+        normalised by the network-wide max node capacity; >= 0 iff the node
+        could process f's requested component."""
+        if flow.fully_processed:
+            demand = 0.0
+        else:
+            service = self.catalog.service(flow.service)
+            component = service.component_at(flow.component_index)
+            demand = component.resources(flow.data_rate)
+        values = [
+            (sim.state.node_free(v) - demand) / self._max_node_capacity
+            for v in [node] + neighbors
+        ]
+        values.extend([DUMMY] * pad)
+        return np.clip(np.array(values, dtype=np.float64), -1.0, 1.0)
+
+    def _delays_to_egress(
+        self, flow: Flow, node: str, neighbors: List[str], pad: int, now: float
+    ) -> np.ndarray:
+        """D_{v,f}: per neighbor v', the margin of the remaining deadline
+        over the shortest-path delay via v' to f's egress; < 0 means
+        forwarding via v' cannot possibly meet the deadline."""
+        remaining = flow.remaining_time(now)
+        values = []
+        for nb in neighbors:
+            via = self.network.link(node, nb).delay + self.network.shortest_path_delay(
+                nb, flow.egress
+            )
+            if remaining <= 0 or not np.isfinite(via):
+                values.append(-1.0)
+            else:
+                values.append(max(-1.0, (remaining - via) / remaining))
+        values.extend([DUMMY] * pad)
+        return np.array(values, dtype=np.float64)
+
+    def _available_instances(
+        self, flow: Flow, node: str, neighbors: List[str], pad: int, sim: Simulator
+    ) -> np.ndarray:
+        """X_v: 1 where an instance of the requested component is placed at
+        v / its neighbors (always 0 once the flow is fully processed)."""
+        if flow.fully_processed:
+            values = [0.0] * (1 + len(neighbors))
+        else:
+            service = self.catalog.service(flow.service)
+            component = service.component_at(flow.component_index)
+            values = [
+                1.0 if sim.state.has_instance(v, component.name) else 0.0
+                for v in [node] + neighbors
+            ]
+        values.extend([DUMMY] * pad)
+        return np.array(values, dtype=np.float64)

@@ -1,0 +1,127 @@
+"""High-level training entry point: Alg. 1 end to end.
+
+Centralized offline training (k seeds x l parallel environment copies,
+ACKTR) followed by best-agent selection and deployment as a
+:class:`~repro.core.agent.DistributedCoordinator` with one agent per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.agent import DistributedCoordinator
+from repro.core.env import CoordinationEnvConfig, ServiceCoordinationEnv
+from repro.rl.acktr import ACKTRConfig
+from repro.rl.training import MultiSeedResult, train_multi_seed
+
+__all__ = ["TrainingConfig", "TrainingResult", "train_coordinator"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyperparameters of the full training pipeline (paper Sec. V-A2).
+
+    Attributes:
+        algorithm: ``"acktr"`` (paper) or ``"a2c"`` (ablation).
+        seeds: Training seeds (paper: k = 10).
+        n_envs: Parallel environment copies l (paper: 4).
+        updates_per_seed: Gradient updates per seed.
+        n_steps: Transitions per env per update (mini-batch b = n_envs *
+            n_steps experiences).
+        learning_rate: Initial learning rate α (paper: 0.25 for ACKTR).
+        gamma: Discount factor (paper: 0.99).
+        entropy_coef: Entropy loss coefficient (paper: 0.01).
+        value_loss_coef: Critic loss coefficient (paper: 0.25).
+        kl_clip: ACKTR trust-region bound (paper: 0.001).
+        max_grad_norm: Gradient clip (paper: 0.5).
+        eval_episodes: Greedy episodes per seed for best-agent selection.
+    """
+
+    algorithm: str = "acktr"
+    seeds: Sequence[int] = tuple(range(10))
+    n_envs: int = 4
+    updates_per_seed: int = 60
+    n_steps: int = 32
+    learning_rate: float = 0.25
+    gamma: float = 0.99
+    entropy_coef: float = 0.01
+    value_loss_coef: float = 0.25
+    kl_clip: float = 0.001
+    max_grad_norm: float = 0.5
+    eval_episodes: int = 1
+
+    def to_acktr_config(self) -> ACKTRConfig:
+        return ACKTRConfig(
+            gamma=self.gamma,
+            learning_rate=self.learning_rate,
+            entropy_coef=self.entropy_coef,
+            value_loss_coef=self.value_loss_coef,
+            max_grad_norm=self.max_grad_norm,
+            n_steps=self.n_steps,
+            n_envs=self.n_envs,
+            kl_clip=self.kl_clip,
+        )
+
+    def quick(self) -> "TrainingConfig":
+        """A laptop-scale variant (fewer seeds/updates) for tests and the
+        default bench configuration; same algorithm, smaller budget."""
+        from dataclasses import replace
+
+        return replace(self, seeds=(0, 1), updates_per_seed=25)
+
+
+@dataclass
+class TrainingResult:
+    """Trained coordinator plus the per-seed training record."""
+
+    coordinator: DistributedCoordinator
+    multi_seed: MultiSeedResult
+
+    @property
+    def best_seed(self) -> int:
+        return self.multi_seed.best.seed
+
+
+def train_coordinator(
+    env_config: CoordinationEnvConfig,
+    training: TrainingConfig = TrainingConfig(),
+    verbose: bool = False,
+) -> TrainingResult:
+    """Centralized training + distributed deployment (Alg. 1).
+
+    Args:
+        env_config: The scenario to train on.
+        training: Hyperparameters; defaults match the paper.
+        verbose: Print per-seed summaries.
+
+    Returns:
+        The deployed distributed coordinator (one agent per node holding a
+        copy of the best seed's network) and the training record.
+    """
+    env_counter = [0]
+
+    def env_factory() -> ServiceCoordinationEnv:
+        # Distinct base seeds per copy so the l parallel environments see
+        # different traffic realisations, as in A3C-style training.
+        env_counter[0] += 1
+        return ServiceCoordinationEnv(env_config, seed=env_counter[0])
+
+    multi_seed = train_multi_seed(
+        env_factory,
+        config=training.to_acktr_config(),
+        seeds=training.seeds,
+        updates_per_seed=training.updates_per_seed,
+        eval_episodes=training.eval_episodes,
+        algorithm=training.algorithm,
+        verbose=verbose,
+    )
+    coordinator = DistributedCoordinator(
+        env_config.network,
+        env_config.catalog,
+        multi_seed.best_policy,
+        deterministic=True,
+    )
+    return TrainingResult(coordinator=coordinator, multi_seed=multi_seed)

@@ -1,0 +1,113 @@
+"""ASCII line charts for experiment series.
+
+The paper's figures are line plots (success ratio over a swept
+parameter).  :func:`ascii_chart` renders the same series as a terminal
+chart so bench output can *show* the crossovers (e.g. where SP collapses
+or the central DRL falls away) rather than only tabulating them.  No
+plotting dependency needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.tables import SweepTable
+
+__all__ = ["ascii_chart", "chart_sweep"]
+
+#: Mark characters assigned to series, in order.
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence,
+    title: str = "",
+    height: int = 12,
+    y_min: float = 0.0,
+    y_max: Optional[float] = None,
+    width_per_point: int = 12,
+) -> str:
+    """Render named series over shared x positions as an ASCII chart.
+
+    Args:
+        series: Mapping name -> y values (all equal length).
+        x_labels: Labels of the x positions (len matches the series).
+        title: Chart heading.
+        height: Rows of the plotting area.
+        y_min: Bottom of the y axis.
+        y_max: Top of the y axis (default: max over all series, at least
+            ``y_min + 1e-9``).
+        width_per_point: Horizontal spacing between x positions.
+
+    Returns:
+        The chart as a multi-line string; a legend maps marks to names.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1 or lengths.pop() != len(x_labels):
+        raise ValueError("all series must match the number of x labels")
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    if y_max is None:
+        y_max = max((max(v) for v in series.values() if len(v)), default=1.0)
+    y_max = max(y_max, y_min + 1e-9)
+
+    n_points = len(x_labels)
+    plot_width = max(1, (n_points - 1) * width_per_point) + 1
+    grid = [[" "] * plot_width for _ in range(height)]
+
+    def row_of(y: float) -> int:
+        clamped = min(max(y, y_min), y_max)
+        frac = (clamped - y_min) / (y_max - y_min)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    marks = {}
+    for index, (name, values) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        marks[name] = mark
+        for point, y in enumerate(values):
+            col = point * width_per_point
+            row = row_of(y)
+            # Later series overwrite earlier ones at collisions; the
+            # legend disambiguates.
+            grid[row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_max:.2f}"), len(f"{y_min:.2f}"))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:.2f}"
+        elif row_index == height - 1:
+            label = f"{y_min:.2f}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * plot_width)
+    # Leave room past the last point so its label is not cut off.
+    x_axis = [" "] * (plot_width + width_per_point)
+    for point, x in enumerate(x_labels):
+        text = str(x)
+        col = point * width_per_point
+        for offset, ch in enumerate(text[: width_per_point - 1]):
+            x_axis[col + offset] = ch
+    lines.append(" " * label_width + "  " + "".join(x_axis).rstrip())
+    legend = "  ".join(f"{mark}={name}" for name, mark in marks.items())
+    lines.append(f"{'':>{label_width}}  {legend}")
+    return "\n".join(lines)
+
+
+def chart_sweep(table: SweepTable, height: int = 12) -> str:
+    """Chart a :class:`~repro.eval.tables.SweepTable`'s mean series."""
+    series = {name: table.series(name) for name in table.rows}
+    return ascii_chart(
+        series,
+        table.parameter_values,
+        title=table.title,
+        height=height,
+        y_min=0.0,
+        y_max=1.0,
+    )

@@ -1,0 +1,259 @@
+"""Experiment runner: train, evaluate, and compare coordination algorithms.
+
+Mirrors the paper's experiment execution (Sec. V-A4): every algorithm runs
+through the identical simulator on the same traffic realisations; figures
+report mean and standard deviation over evaluation seeds (the paper uses
+30 random seeds; the bench defaults use fewer for laptop-scale runs and
+are configurable).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.central_drl import (
+    CentralDRLConfig,
+    CentralDRLPolicy,
+    train_central_coordinator,
+)
+from repro.baselines.gcasp import GCASPPolicy
+from repro.baselines.shortest_path import ShortestPathPolicy
+from repro.core.agent import DistributedCoordinator
+from repro.core.env import CoordinationEnvConfig
+from repro.core.trainer import TrainingConfig, train_coordinator
+from repro.rl.acktr import ACKTRConfig
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "AlgorithmResult",
+    "evaluate_policy_on_scenario",
+    "SuiteConfig",
+    "AlgorithmSuite",
+    "build_algorithm_suite",
+]
+
+#: Creates a fresh policy instance for one evaluation run.
+PolicyFactory = Callable[[], Callable]
+
+#: Algorithm display names, in the paper's legend order.
+DISTRIBUTED_DRL = "Distributed DRL"
+CENTRAL_DRL = "Central DRL"
+GCASP = "GCASP"
+SP = "SP"
+ALL_ALGORITHMS = (DISTRIBUTED_DRL, CENTRAL_DRL, GCASP, SP)
+
+
+@dataclass
+class AlgorithmResult:
+    """Aggregated evaluation of one algorithm on one scenario.
+
+    Attributes:
+        name: Algorithm display name.
+        success_ratios: Per-evaluation-seed objective ``o_f``.
+        avg_delays: Per-seed mean end-to-end delay of successful flows
+            (NaN when no flow succeeded in that run).
+        mean_decision_seconds: Per-seed mean wall-clock time per
+            coordination decision (Fig. 9b), when timing was requested.
+    """
+
+    name: str
+    success_ratios: List[float] = field(default_factory=list)
+    avg_delays: List[float] = field(default_factory=list)
+    mean_decision_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def mean_success(self) -> float:
+        return float(np.mean(self.success_ratios)) if self.success_ratios else 0.0
+
+    @property
+    def std_success(self) -> float:
+        return float(np.std(self.success_ratios)) if self.success_ratios else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        finite = [d for d in self.avg_delays if not math.isnan(d)]
+        return float(np.mean(finite)) if finite else float("nan")
+
+    @property
+    def mean_decision_ms(self) -> float:
+        if not self.mean_decision_seconds:
+            return float("nan")
+        return float(np.mean(self.mean_decision_seconds)) * 1000.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: success={self.mean_success:.3f}±{self.std_success:.3f} "
+            f"delay={self.mean_delay:.1f}"
+        )
+
+
+def evaluate_policy_on_scenario(
+    env_config: CoordinationEnvConfig,
+    policy_factory: PolicyFactory,
+    name: str,
+    eval_seeds: Sequence[int] = (0, 1, 2),
+    time_decisions: bool = False,
+) -> AlgorithmResult:
+    """Run one algorithm over several traffic realisations of a scenario.
+
+    Each seed gets a fresh policy instance (heuristics carry per-run state)
+    and a fresh traffic realisation; all seeds share the scenario's network
+    and capacity assignment, exactly like repeated runs in the paper.
+    """
+    result = AlgorithmResult(name=name)
+    for seed in eval_seeds:
+        policy = policy_factory()
+        traffic = env_config.traffic_factory(np.random.default_rng(seed))
+        sim = Simulator(
+            env_config.network, env_config.catalog, traffic, env_config.sim_config
+        )
+        metrics = sim.run(policy, time_decisions=time_decisions)
+        result.success_ratios.append(metrics.success_ratio)
+        result.avg_delays.append(
+            metrics.avg_end_to_end_delay
+            if metrics.avg_end_to_end_delay is not None
+            else float("nan")
+        )
+        if time_decisions:
+            result.mean_decision_seconds.append(sim.mean_decision_seconds)
+    return result
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Budget knobs for training the learned algorithms of a comparison.
+
+    The defaults are laptop-scale (minutes); raise them toward the paper's
+    budget (k=10 seeds, 30 eval seeds, T=20000) for full-fidelity runs.
+    """
+
+    train_seeds: Sequence[int] = (0, 1)
+    train_updates: int = 400
+    central_train_updates: int = 250
+    eval_seeds: Sequence[int] = (0, 1, 2)
+    n_envs: int = 4
+    n_steps: int = 32
+
+
+@dataclass
+class AlgorithmSuite:
+    """The paper's four algorithms, trained/instantiated for one scenario."""
+
+    env_config: CoordinationEnvConfig
+    factories: Dict[str, PolicyFactory]
+    coordinator: Optional[DistributedCoordinator] = None
+    central: Optional[CentralDRLPolicy] = None
+
+    def factories_for(
+        self, env_config: CoordinationEnvConfig
+    ) -> Dict[str, PolicyFactory]:
+        """Policy factories re-deployed on a (possibly different) scenario.
+
+        Generalization experiments (Fig. 8) evaluate trained policies on
+        scenarios they never saw.  The heuristics are rebuilt on the
+        evaluation network; the trained DRL networks are *re-deployed
+        without retraining* — the distributed policy works on any network
+        with the same degree Δ_G because its spaces depend only on Δ_G.
+        """
+        if env_config is self.env_config:
+            return self.factories
+        network, catalog = env_config.network, env_config.catalog
+        factories: Dict[str, PolicyFactory] = {}
+        if DISTRIBUTED_DRL in self.factories:
+            assert self.coordinator is not None
+            trained_policy = next(iter(self.coordinator.agents.values())).policy
+            factories[DISTRIBUTED_DRL] = lambda: DistributedCoordinator(
+                network, catalog, trained_policy
+            )
+        if CENTRAL_DRL in self.factories:
+            assert self.central is not None
+            central = self.central
+            factories[CENTRAL_DRL] = lambda: CentralDRLPolicy(
+                network,
+                catalog,
+                central.policy,
+                central.config,
+                horizon=env_config.sim_config.horizon,
+            )
+        if GCASP in self.factories:
+            factories[GCASP] = lambda: GCASPPolicy(network, catalog)
+        if SP in self.factories:
+            factories[SP] = lambda: ShortestPathPolicy(network, catalog)
+        return factories
+
+    def compare(
+        self,
+        env_config: Optional[CoordinationEnvConfig] = None,
+        eval_seeds: Sequence[int] = (0, 1, 2),
+        time_decisions: bool = False,
+        algorithms: Optional[Sequence[str]] = None,
+    ) -> Dict[str, AlgorithmResult]:
+        """Evaluate (a subset of) the suite, optionally on a *different*
+        scenario than it was trained on (generalization experiments)."""
+        env_config = env_config or self.env_config
+        factories = self.factories_for(env_config)
+        names = algorithms or list(factories)
+        return {
+            name: evaluate_policy_on_scenario(
+                env_config,
+                factories[name],
+                name,
+                eval_seeds=eval_seeds,
+                time_decisions=time_decisions,
+            )
+            for name in names
+        }
+
+
+def build_algorithm_suite(
+    env_config: CoordinationEnvConfig,
+    suite: SuiteConfig = SuiteConfig(),
+    include: Sequence[str] = ALL_ALGORITHMS,
+    verbose: bool = False,
+) -> AlgorithmSuite:
+    """Train the two DRL approaches on a scenario and wrap all algorithms.
+
+    SP and GCASP need no training; the distributed DRL and the central DRL
+    are trained on the scenario with the suite's budget (multi-seed with
+    best-agent selection, per Alg. 1).
+    """
+    network, catalog = env_config.network, env_config.catalog
+    factories: Dict[str, PolicyFactory] = {}
+    coordinator = None
+    central = None
+
+    if DISTRIBUTED_DRL in include:
+        training = TrainingConfig(
+            seeds=tuple(suite.train_seeds),
+            updates_per_seed=suite.train_updates,
+            n_envs=suite.n_envs,
+            n_steps=suite.n_steps,
+        )
+        result = train_coordinator(env_config, training, verbose=verbose)
+        coordinator = result.coordinator
+        factories[DISTRIBUTED_DRL] = coordinator.fresh
+    if CENTRAL_DRL in include:
+        central, _ = train_central_coordinator(
+            env_config,
+            CentralDRLConfig(),
+            ACKTRConfig(n_envs=suite.n_envs, n_steps=suite.n_steps),
+            seeds=tuple(suite.train_seeds),
+            updates_per_seed=suite.central_train_updates,
+            verbose=verbose,
+        )
+        factories[CENTRAL_DRL] = central.fresh
+    if GCASP in include:
+        factories[GCASP] = lambda: GCASPPolicy(network, catalog)
+    if SP in include:
+        factories[SP] = lambda: ShortestPathPolicy(network, catalog)
+
+    return AlgorithmSuite(
+        env_config=env_config,
+        factories=factories,
+        coordinator=coordinator,
+        central=central,
+    )

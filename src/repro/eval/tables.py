@@ -1,0 +1,80 @@
+"""ASCII rendering of experiment results (the "figures" of this repo).
+
+The paper's figures are line plots of success ratio over a swept
+parameter; the bench harness prints the same series as text tables so the
+reproduction is inspectable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.runner import AlgorithmResult
+from repro.topology.network import TopologyStats
+
+__all__ = ["SweepTable", "render_table1"]
+
+
+@dataclass
+class SweepTable:
+    """Results of several algorithms over a swept parameter.
+
+    One column per sweep value (e.g. number of ingress nodes), one row per
+    algorithm, cells "mean±std" of the success ratio (or any metric fed
+    through :meth:`add`).
+    """
+
+    title: str
+    parameter_name: str
+    parameter_values: Sequence
+    #: algorithm -> list of (mean, std) aligned with parameter_values.
+    rows: Dict[str, List[tuple]] = field(default_factory=dict)
+
+    def add(self, algorithm: str, mean: float, std: float = 0.0) -> None:
+        """Append the next sweep point's result for ``algorithm``."""
+        self.rows.setdefault(algorithm, []).append((mean, std))
+
+    def add_result(self, result: AlgorithmResult) -> None:
+        self.add(result.name, result.mean_success, result.std_success)
+
+    def series(self, algorithm: str) -> List[float]:
+        """The mean series of one algorithm (for shape assertions in tests)."""
+        return [mean for mean, _ in self.rows[algorithm]]
+
+    def render(self, cell_format: str = "{mean:.3f}±{std:.3f}") -> str:
+        """Render as a fixed-width ASCII table."""
+        header = [self.parameter_name] + [str(v) for v in self.parameter_values]
+        lines: List[List[str]] = [header]
+        for algorithm, cells in self.rows.items():
+            row = [algorithm]
+            for mean, std in cells:
+                row.append(cell_format.format(mean=mean, std=std))
+            row.extend([""] * (len(header) - len(row)))
+            lines.append(row)
+        widths = [
+            max(len(line[i]) for line in lines) for i in range(len(header))
+        ]
+        rendered = [f"== {self.title} =="]
+        for index, line in enumerate(lines):
+            rendered.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line))
+            )
+            if index == 0:
+                rendered.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        return "\n".join(rendered)
+
+
+def render_table1(stats: Sequence[TopologyStats]) -> str:
+    """Render topology statistics exactly like the paper's Table I."""
+    header = ("Network", "Nodes", "Edges", "Degree (Min./Max./Avg.)")
+    rows = [header] + [
+        tuple(str(x) for x in s.as_row()) for s in stats
+    ]
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = ["== Table I: Real-world network topologies =="]
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)

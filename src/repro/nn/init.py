@@ -1,0 +1,43 @@
+"""Weight initialisation schemes for the numpy neural-network stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["orthogonal", "xavier_uniform", "zeros"]
+
+
+def orthogonal(shape, gain: float = 1.0, rng=None) -> np.ndarray:
+    """Orthogonal initialisation (Saxe et al.), the stable-baselines default.
+
+    Args:
+        shape: ``(fan_in, fan_out)``.
+        gain: Scaling factor; ``sqrt(2)`` for ReLU stacks, smaller (e.g.
+            0.01) for policy output layers to start near-uniform.
+        rng: Numpy generator or seed.
+    """
+    if len(shape) != 2:
+        raise ValueError(f"orthogonal init needs a 2-D shape, got {shape}")
+    rng = np.random.default_rng(rng)
+    rows, cols = shape
+    flat = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    # Sign correction makes the distribution uniform over orthogonal matrices.
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return (gain * q[:rows, :cols]).astype(np.float64)
+
+
+def xavier_uniform(shape, gain: float = 1.0, rng=None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for tanh networks."""
+    if len(shape) != 2:
+        raise ValueError(f"xavier init needs a 2-D shape, got {shape}")
+    rng = np.random.default_rng(rng)
+    fan_in, fan_out = shape
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)

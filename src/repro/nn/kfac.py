@@ -1,0 +1,161 @@
+"""K-FAC: Kronecker-factored approximate curvature (Martens & Grosse).
+
+ACKTR [38] trains actor and critic with natural-gradient updates whose
+Fisher information matrix is approximated block-diagonally per layer, each
+block as a Kronecker product of two small factors:
+
+    F_layer ≈ A ⊗ G,   A = E[ā āᵀ],   G = E[g gᵀ]
+
+where ``ā`` is the layer's bias-augmented input and ``g`` the gradient of
+the *model's own* log-likelihood (actions sampled from the policy itself,
+targets sampled from the value model) w.r.t. the layer's pre-activations.
+The natural gradient is then cheap:
+
+    (A ⊗ G)⁻¹ vec(∇W)  =  vec(A⁻¹ ∇W G⁻¹)
+
+On top, ACKTR applies a trust region: the raw step is rescaled so the
+predicted KL change ``½ Δθᵀ F Δθ`` stays below ``kl_clip``.
+
+Usage inside a trainer::
+
+    model.forward(obs)                      # caches ā per layer
+    model.backward(fisher_output_grad)      # caches g per layer
+    kfac.update_stats()                     # EMA of A, G from the caches
+    model.forward(obs); model.backward(dl)  # true loss gradients
+    kfac.step([d.grad for d in model.dense_layers])
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dense
+from repro.nn.mlp import MLP
+
+__all__ = ["KFAC"]
+
+
+class KFAC:
+    """Kronecker-factored natural-gradient optimiser for one MLP.
+
+    Args:
+        model: The network to optimise (parameters updated in place).
+        lr: Maximum learning rate η_max (paper: 0.25 initial).
+        kl_clip: Trust-region bound on the predicted KL per update
+            (paper: 0.001).
+        damping: Tikhonov damping λ added to the factors before inversion.
+        stat_decay: EMA decay for the running Kronecker factors.
+        inversion_interval: Recompute the factor inverses every this many
+            steps (inversion is the expensive part of K-FAC).
+        max_grad_norm: Optional global gradient-norm clip applied to the
+            incoming raw gradients (paper: 0.5).
+    """
+
+    def __init__(
+        self,
+        model: MLP,
+        lr: float = 0.25,
+        kl_clip: float = 0.001,
+        damping: float = 0.01,
+        stat_decay: float = 0.95,
+        inversion_interval: int = 10,
+        max_grad_norm: Optional[float] = 0.5,
+    ) -> None:
+        if lr <= 0 or kl_clip <= 0 or damping <= 0:
+            raise ValueError("lr, kl_clip, and damping must all be > 0")
+        if not 0.0 < stat_decay < 1.0:
+            raise ValueError(f"stat_decay must be in (0, 1), got {stat_decay}")
+        self.model = model
+        self.lr = lr
+        self.kl_clip = kl_clip
+        self.damping = damping
+        self.stat_decay = stat_decay
+        self.inversion_interval = max(1, inversion_interval)
+        self.max_grad_norm = max_grad_norm
+
+        layers = model.dense_layers
+        self._A: List[np.ndarray] = [np.eye(d.weight.shape[0]) for d in layers]
+        self._G: List[np.ndarray] = [np.eye(d.weight.shape[1]) for d in layers]
+        self._A_inv: List[Optional[np.ndarray]] = [None] * len(layers)
+        self._G_inv: List[Optional[np.ndarray]] = [None] * len(layers)
+        self._steps = 0
+        self._stat_updates = 0
+
+    # ------------------------------------------------------------------
+
+    def update_stats(self) -> None:
+        """Fold the layers' current caches into the running A and G factors.
+
+        Must be called right after a forward pass and a backward pass with
+        the *sampled-Fisher* output gradient (see module docstring); uses
+        ``last_input_aug`` and ``last_output_grad`` of each Dense layer.
+        """
+        self._stat_updates += 1
+        decay = self.stat_decay
+        for i, dense in enumerate(self.model.dense_layers):
+            aug = dense.last_input_aug
+            g = dense.last_output_grad
+            if aug is None or g is None:
+                raise RuntimeError(
+                    "update_stats() requires a forward and a (Fisher) backward "
+                    "pass beforehand"
+                )
+            batch = aug.shape[0]
+            a_new = aug.T @ aug / batch
+            g_new = g.T @ g / batch
+            self._A[i] = decay * self._A[i] + (1.0 - decay) * a_new
+            self._G[i] = decay * self._G[i] + (1.0 - decay) * g_new
+
+    def _refresh_inverses(self) -> None:
+        for i, (a, g) in enumerate(zip(self._A, self._G)):
+            # Factored Tikhonov damping (Martens & Grosse Sec. 6.3): split
+            # the damping between the factors in proportion to their scales.
+            tr_a = max(np.trace(a) / a.shape[0], 1e-12)
+            tr_g = max(np.trace(g) / g.shape[0], 1e-12)
+            pi = np.sqrt(tr_a / tr_g)
+            eps_a = np.sqrt(self.damping) * pi
+            eps_g = np.sqrt(self.damping) / pi
+            self._A_inv[i] = np.linalg.inv(a + eps_a * np.eye(a.shape[0]))
+            self._G_inv[i] = np.linalg.inv(g + eps_g * np.eye(g.shape[0]))
+
+    # ------------------------------------------------------------------
+
+    def step(self, grads: Sequence[np.ndarray]) -> float:
+        """Apply one natural-gradient update; returns the trust-region scale.
+
+        Args:
+            grads: Loss gradients aligned with ``model.dense_layers``.
+        """
+        if len(grads) != len(self.model.dense_layers):
+            raise ValueError(
+                f"got {len(grads)} gradients for {len(self.model.dense_layers)} layers"
+            )
+        grads = [g.copy() for g in grads]
+        if self.max_grad_norm is not None:
+            from repro.nn.optim import clip_grads_by_norm
+
+            clip_grads_by_norm(grads, self.max_grad_norm)
+
+        if self._steps % self.inversion_interval == 0:
+            self._refresh_inverses()
+        self._steps += 1
+
+        # Preconditioned (natural) gradients per layer.
+        updates: List[np.ndarray] = []
+        for grad, a_inv, g_inv in zip(grads, self._A_inv, self._G_inv):
+            assert a_inv is not None and g_inv is not None
+            updates.append(a_inv @ grad @ g_inv)
+
+        # Trust region: predicted KL ≈ ½ η² Σ tr(uᵀ A u G); rescale so the
+        # actual step's predicted KL stays below kl_clip.
+        quad = 0.0
+        for u, a, g in zip(updates, self._A, self._G):
+            quad += float(np.sum(u * (a @ u @ g)))
+        quad = max(quad, 1e-12)
+        scale = min(1.0, np.sqrt(2.0 * self.kl_clip / (self.lr**2 * quad)))
+
+        for weight, update in zip(self.model.parameters, updates):
+            weight -= self.lr * scale * update
+        return float(scale)

@@ -1,0 +1,136 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+The paper trains with TensorFlow; offline we implement the needed pieces —
+dense layers and tanh activations — directly in numpy with hand-derived
+gradients.  Layers keep the caches K-FAC needs: the (bias-augmented) layer
+inputs ``ā`` and the gradients w.r.t. pre-activations ``g``, whose second
+moments form the Kronecker factors ``A = E[ā āᵀ]`` and ``G = E[g gᵀ]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.init import orthogonal, xavier_uniform
+
+__all__ = ["Dense", "Tanh", "ReLU", "Identity", "Activation"]
+
+
+class Dense:
+    """Fully connected layer ``z = ā W`` with the bias folded into ``W``.
+
+    The input is augmented with a constant 1 column (``ā = [x, 1]``) and
+    ``W`` has shape ``(in_dim + 1, out_dim)``; the last row is the bias.
+    Folding the bias keeps K-FAC's Kronecker factorisation exact with a
+    single factor pair per layer.
+
+    Attributes:
+        weight: Parameter matrix ``(in_dim + 1, out_dim)``.
+        grad: Gradient of the loss w.r.t. ``weight`` after backward().
+        last_input_aug: Cached ``ā`` from the last forward pass.
+        last_output_grad: Cached ``g = dL/dz`` from the last backward pass.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        init: str = "orthogonal",
+        gain: float = 1.0,
+        rng=None,
+    ) -> None:
+        if in_dim < 1 or out_dim < 1:
+            raise ValueError(f"invalid Dense dims ({in_dim}, {out_dim})")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        if init == "orthogonal":
+            core = orthogonal((in_dim, out_dim), gain=gain, rng=rng)
+        elif init == "xavier":
+            core = xavier_uniform((in_dim, out_dim), gain=gain, rng=rng)
+        else:
+            raise ValueError(f"unknown init {init!r}")
+        self.weight = np.vstack([core, np.zeros((1, out_dim))])
+        self.grad = np.zeros_like(self.weight)
+        self.last_input_aug: Optional[np.ndarray] = None
+        self.last_output_grad: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """``z = [x, 1] W`` for a batch ``x`` of shape (N, in_dim)."""
+        if x.ndim != 2 or x.shape[1] != self.in_dim:
+            raise ValueError(
+                f"Dense({self.in_dim},{self.out_dim}): bad input shape {x.shape}"
+            )
+        aug = np.concatenate([x, np.ones((x.shape[0], 1))], axis=1)
+        self.last_input_aug = aug
+        return aug @ self.weight
+
+    def backward(self, dz: np.ndarray, accumulate: bool = False) -> np.ndarray:
+        """Given ``dL/dz``, set ``self.grad`` and return ``dL/dx``.
+
+        Gradients are averaged over the batch (dz is assumed to already be
+        per-example loss gradients).
+        """
+        assert self.last_input_aug is not None, "backward before forward"
+        self.last_output_grad = dz
+        grad = self.last_input_aug.T @ dz
+        if accumulate:
+            self.grad += grad
+        else:
+            self.grad = grad
+        # Drop the bias row when propagating to the input.
+        return dz @ self.weight[:-1].T
+
+    def zero_grad(self) -> None:
+        self.grad = np.zeros_like(self.weight)
+
+
+class Activation:
+    """Base class for parameter-free elementwise activations."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Tanh(Activation):
+    """tanh — the paper's hidden activation (2x256 tanh units)."""
+
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._out is not None, "backward before forward"
+        return dout * (1.0 - self._out**2)
+
+
+class ReLU(Activation):
+    """ReLU, available for ablations."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._mask is not None, "backward before forward"
+        return dout * self._mask
+
+
+class Identity(Activation):
+    """No-op activation (for linear output heads)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return dout

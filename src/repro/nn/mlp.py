@@ -1,0 +1,127 @@
+"""Multi-layer perceptron composed of Dense + activation layers."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.nn.layers import Activation, Dense, Identity, ReLU, Tanh
+
+__all__ = ["MLP"]
+
+_ACTIVATIONS = {"tanh": Tanh, "relu": ReLU, "identity": Identity}
+
+
+class MLP:
+    """Feed-forward network: hidden Dense+activation stacks, linear output.
+
+    Matches the paper's architecture when constructed with
+    ``hidden=(256, 256), activation="tanh"``.
+
+    Args:
+        in_dim: Input feature dimension.
+        hidden: Sizes of the hidden layers.
+        out_dim: Output dimension (number of actions for the actor, 1 for
+            the critic).
+        activation: ``"tanh"`` (paper default), ``"relu"``, or
+            ``"identity"``.
+        out_gain: Initialisation gain of the output layer; a small value
+            (0.01) keeps an actor's initial policy near-uniform.
+        rng: Numpy generator or seed for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden: Sequence[int],
+        out_dim: int,
+        activation: str = "tanh",
+        out_gain: float = 0.01,
+        rng=None,
+    ) -> None:
+        if activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; choose from {sorted(_ACTIVATIONS)}"
+            )
+        rng = np.random.default_rng(rng)
+        act_cls: Type[Activation] = _ACTIVATIONS[activation]
+        self.dense_layers: List[Dense] = []
+        self.activations: List[Activation] = []
+        prev = in_dim
+        for width in hidden:
+            self.dense_layers.append(Dense(prev, width, gain=np.sqrt(2.0), rng=rng))
+            self.activations.append(act_cls())
+            prev = width
+        self.dense_layers.append(Dense(prev, out_dim, gain=out_gain, rng=rng))
+        self.activations.append(Identity())
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+
+    # ------------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass for a batch ``(N, in_dim) -> (N, out_dim)``."""
+        out = np.asarray(x, dtype=np.float64)
+        if out.ndim == 1:
+            out = out[None, :]
+        for dense, act in zip(self.dense_layers, self.activations):
+            out = act.forward(dense.forward(out))
+        return out
+
+    __call__ = forward
+
+    def backward(self, dout: np.ndarray, accumulate: bool = False) -> np.ndarray:
+        """Backprop ``dL/d(output)``; fills each layer's ``grad``; returns dL/dx."""
+        grad = dout
+        for dense, act in zip(reversed(self.dense_layers), reversed(self.activations)):
+            grad = dense.backward(act.backward(grad), accumulate=accumulate)
+        return grad
+
+    def zero_grad(self) -> None:
+        for dense in self.dense_layers:
+            dense.zero_grad()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def parameters(self) -> List[np.ndarray]:
+        """Live references to all weight matrices (optimisers mutate these)."""
+        return [d.weight for d in self.dense_layers]
+
+    @property
+    def gradients(self) -> List[np.ndarray]:
+        return [d.grad for d in self.dense_layers]
+
+    def num_parameters(self) -> int:
+        return sum(w.size for w in self.parameters)
+
+    def set_parameters(self, params: Sequence[np.ndarray]) -> None:
+        """Overwrite all weights (shape-checked) — used to copy the trained
+        network to every node's agent for distributed inference."""
+        if len(params) != len(self.dense_layers):
+            raise ValueError(
+                f"expected {len(self.dense_layers)} parameter arrays, got {len(params)}"
+            )
+        for dense, new in zip(self.dense_layers, params):
+            if new.shape != dense.weight.shape:
+                raise ValueError(
+                    f"parameter shape mismatch: {new.shape} vs {dense.weight.shape}"
+                )
+            dense.weight = new.copy()
+
+    def copy_parameters(self) -> List[np.ndarray]:
+        return [w.copy() for w in self.parameters]
+
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Serialise weights to an ``.npz`` file."""
+        arrays = {f"w{i}": w for i, w in enumerate(self.parameters)}
+        np.savez(Path(path), **arrays)
+
+    def load(self, path) -> None:
+        """Load weights saved by :meth:`save` into this (same-shape) MLP."""
+        data = np.load(Path(path))
+        self.set_parameters([data[f"w{i}"] for i in range(len(self.dense_layers))])

@@ -1,0 +1,119 @@
+"""First-order optimisers over lists of parameter arrays.
+
+The paper trains with RMSprop; SGD (with momentum) and Adam are included
+for ablations and tests.  Optimisers mutate the parameter arrays in place
+(the arrays are shared with the :class:`~repro.nn.mlp.MLP` layers).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "RMSprop", "Adam", "clip_grads_by_norm"]
+
+
+def clip_grads_by_norm(grads: Sequence[np.ndarray], max_norm: float) -> float:
+    """Scale ``grads`` in place so the global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm.  Matches the paper's "max. gradient 0.5".
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be > 0, got {max_norm}")
+    total = float(np.sqrt(sum(float(np.sum(g**2)) for g in grads)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for g in grads:
+            g *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimiser over a fixed list of parameter arrays."""
+
+    def __init__(self, params: Sequence[np.ndarray], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be > 0, got {lr}")
+        self.params: List[np.ndarray] = list(params)
+        self.lr = lr
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        """Apply one update from ``grads`` (aligned with ``self.params``)."""
+        if len(grads) != len(self.params):
+            raise ValueError(
+                f"got {len(grads)} gradients for {len(self.params)} parameters"
+            )
+        self._step(list(grads))
+
+    def _step(self, grads: List[np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain / momentum SGD."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in self.params]
+
+    def _step(self, grads: List[np.ndarray]) -> None:
+        for p, g, v in zip(self.params, grads, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                p -= self.lr * v
+            else:
+                p -= self.lr * g
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Tieleman & Hinton) — the paper's optimiser."""
+
+    def __init__(
+        self, params, lr: float = 0.25, decay: float = 0.99, epsilon: float = 1e-5
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        self.decay = decay
+        self.epsilon = epsilon
+        self._mean_square = [np.zeros_like(p) for p in self.params]
+
+    def _step(self, grads: List[np.ndarray]) -> None:
+        for p, g, ms in zip(self.params, grads, self._mean_square):
+            ms *= self.decay
+            ms += (1.0 - self.decay) * g**2
+            p -= self.lr * g / (np.sqrt(ms) + self.epsilon)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2, self.epsilon = beta1, beta2, epsilon
+        self._m = [np.zeros_like(p) for p in self.params]
+        self._v = [np.zeros_like(p) for p in self.params]
+        self._t = 0
+
+    def _step(self, grads: List[np.ndarray]) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g**2
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.epsilon)

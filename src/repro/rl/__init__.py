@@ -1,0 +1,38 @@
+"""Reinforcement-learning algorithms: A2C, ACKTR, multi-seed training."""
+
+from repro.rl.a2c import A2CConfig, A2CTrainer, UpdateStats
+from repro.rl.acktr import ACKTRConfig, ACKTRTrainer
+from repro.rl.buffer import RolloutBuffer, compute_returns
+from repro.rl.federated import FederatedAveraging, FederatedConfig, LocalLearner
+from repro.rl.policy import ActorCriticPolicy
+from repro.rl.runner import Env, EpisodeRecord, ParallelRunner
+from repro.rl.spaces import Box, Discrete
+from repro.rl.training import (
+    MultiSeedResult,
+    SeedResult,
+    evaluate_policy,
+    train_multi_seed,
+)
+
+__all__ = [
+    "A2CConfig",
+    "A2CTrainer",
+    "UpdateStats",
+    "ACKTRConfig",
+    "ACKTRTrainer",
+    "RolloutBuffer",
+    "compute_returns",
+    "FederatedAveraging",
+    "FederatedConfig",
+    "LocalLearner",
+    "ActorCriticPolicy",
+    "Env",
+    "EpisodeRecord",
+    "ParallelRunner",
+    "Box",
+    "Discrete",
+    "MultiSeedResult",
+    "SeedResult",
+    "evaluate_policy",
+    "train_multi_seed",
+]

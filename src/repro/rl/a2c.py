@@ -1,0 +1,196 @@
+"""Advantage actor-critic (A2C) — the synchronous variant of A3C [39].
+
+One trainer update (Alg. 1, lines 10-12):
+
+1. collect ``n_steps`` transitions from each of ``l`` parallel envs,
+2. compute bootstrapped returns and advantages,
+3. train the critic V_φ on squared TD error,
+4. train the actor π_θ on the policy gradient with an entropy bonus.
+
+Gradients are derived analytically (see :mod:`repro.nn.distributions`) and
+applied with RMSprop, as in the paper.  :class:`repro.rl.acktr.ACKTRTrainer`
+subclasses this and swaps the optimiser for K-FAC natural gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.distributions import Categorical
+from repro.nn.optim import RMSprop, clip_grads_by_norm
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.policy import ActorCriticPolicy
+from repro.rl.runner import Env, EpisodeRecord, ParallelRunner
+
+__all__ = ["A2CConfig", "UpdateStats", "A2CTrainer"]
+
+
+@dataclass(frozen=True)
+class A2CConfig:
+    """Hyperparameters shared by A2C and ACKTR.
+
+    Defaults follow the paper (Sec. V-A2): γ = 0.99, learning rate 0.25,
+    entropy coefficient 0.01, value-loss coefficient 0.25, gradient clip
+    0.5, l = 4 parallel environments.
+    """
+
+    gamma: float = 0.99
+    learning_rate: float = 0.25
+    entropy_coef: float = 0.01
+    value_loss_coef: float = 0.25
+    max_grad_norm: float = 0.5
+    n_steps: int = 32
+    n_envs: int = 4
+    #: Normalise advantages per batch (variance reduction; standard A2C
+    #: implementations differ — exposed so ablations can flip it).
+    normalize_advantages: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {self.gamma}")
+        if self.n_steps < 1 or self.n_envs < 1:
+            raise ValueError("n_steps and n_envs must be >= 1")
+
+
+@dataclass
+class UpdateStats:
+    """Diagnostics for one training update."""
+
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    mean_return: float
+    grad_norm: float
+
+
+class A2CTrainer:
+    """Synchronous advantage actor-critic over parallel environments.
+
+    Args:
+        env_factory: Zero-arg callable creating a fresh environment copy;
+            called ``config.n_envs`` times.
+        config: Hyperparameters.
+        seed: Seed for policy initialisation and action sampling.
+        policy: Optional pre-built policy (otherwise constructed from the
+            first environment's spaces).
+    """
+
+    def __init__(
+        self,
+        env_factory: Callable[[], Env],
+        config: A2CConfig = A2CConfig(),
+        seed: int = 0,
+        policy: Optional[ActorCriticPolicy] = None,
+    ) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+        self.envs: List[Env] = [env_factory() for _ in range(config.n_envs)]
+        first = self.envs[0]
+        self.policy = policy or ActorCriticPolicy(
+            first.observation_size, first.num_actions, rng=self.rng
+        )
+        self.runner = ParallelRunner(self.envs, self.policy, config.n_steps, self.rng)
+        self.buffer = RolloutBuffer(
+            config.n_steps, config.n_envs, first.observation_size
+        )
+        self._build_optimizers()
+        #: All finished-episode records, in completion order.
+        self.episode_history: List[EpisodeRecord] = []
+        self.updates_done = 0
+
+    def _build_optimizers(self) -> None:
+        self.actor_optimizer = RMSprop(
+            self.policy.actor.parameters, lr=self.config.learning_rate
+        )
+        self.critic_optimizer = RMSprop(
+            self.policy.critic.parameters, lr=self.config.learning_rate
+        )
+
+    # ------------------------------------------------------------------
+
+    def update(self) -> UpdateStats:
+        """Collect one rollout and apply one actor + one critic update."""
+        last_values = self.runner.collect(self.buffer)
+        self.episode_history.extend(self.runner.drain_episodes())
+        obs, actions, returns, advantages = self.buffer.batch(
+            last_values, self.config.gamma
+        )
+        if self.config.normalize_advantages and advantages.size > 1:
+            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+        stats = self._apply_update(obs, actions, returns, advantages)
+        self.updates_done += 1
+        return stats
+
+    def _apply_update(
+        self,
+        obs: np.ndarray,
+        actions: np.ndarray,
+        returns: np.ndarray,
+        advantages: np.ndarray,
+    ) -> UpdateStats:
+        batch = obs.shape[0]
+
+        # --- actor -----------------------------------------------------
+        dist = Categorical(self.policy.actor.forward(obs))
+        log_probs = dist.log_prob(actions)
+        entropy = dist.entropy()
+        policy_loss = float(-(advantages * log_probs).mean())
+        entropy_mean = float(entropy.mean())
+        # d(policy_loss - ent_coef * H)/dlogits, per example, already /batch.
+        dlogits = (
+            -advantages[:, None] * dist.grad_log_prob(actions)
+            - self.config.entropy_coef * dist.grad_entropy()
+        ) / batch
+        self.policy.actor.backward(dlogits)
+        actor_grads = [d.grad for d in self.policy.actor.dense_layers]
+        grad_norm = clip_grads_by_norm(actor_grads, self.config.max_grad_norm)
+        self.actor_optimizer.step(actor_grads)
+
+        # --- critic ----------------------------------------------------
+        values = self.policy.critic.forward(obs)[:, 0]
+        td = values - returns
+        value_loss = float(self.config.value_loss_coef * 0.5 * (td**2).mean())
+        dvalues = (self.config.value_loss_coef * td / batch)[:, None]
+        self.policy.critic.backward(dvalues)
+        critic_grads = [d.grad for d in self.policy.critic.dense_layers]
+        clip_grads_by_norm(critic_grads, self.config.max_grad_norm)
+        self.critic_optimizer.step(critic_grads)
+
+        return UpdateStats(
+            policy_loss=policy_loss,
+            value_loss=value_loss,
+            entropy=entropy_mean,
+            mean_return=float(returns.mean()),
+            grad_norm=grad_norm,
+        )
+
+    # ------------------------------------------------------------------
+
+    def train(self, total_updates: int, log_every: int = 0) -> List[UpdateStats]:
+        """Run ``total_updates`` updates; optionally print progress."""
+        history = []
+        for i in range(total_updates):
+            stats = self.update()
+            history.append(stats)
+            if log_every and (i + 1) % log_every == 0:
+                recent = self.episode_history[-20:]
+                mean_ep = (
+                    np.mean([e.total_reward for e in recent]) if recent else float("nan")
+                )
+                print(
+                    f"update {i + 1}/{total_updates}: "
+                    f"pi_loss={stats.policy_loss:.4f} v_loss={stats.value_loss:.4f} "
+                    f"entropy={stats.entropy:.3f} ep_reward={mean_ep:.1f}"
+                )
+        return history
+
+    def mean_recent_episode_reward(self, window: int = 20) -> float:
+        """Mean total reward over the last ``window`` finished episodes."""
+        recent = self.episode_history[-window:]
+        if not recent:
+            return float("-inf")
+        return float(np.mean([e.total_reward for e in recent]))

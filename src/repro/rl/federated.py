@@ -1,0 +1,236 @@
+"""Federated continuous training (the paper's Sec. IV-C1 extension).
+
+The paper deploys a *frozen* policy after centralized training and notes:
+
+    "To support continuous online training during inference, DRL agents
+    could update their neural network locally and then synchronize the
+    gradient updates with all other nodes (cf. federated learning)."
+
+This module implements that extension.  Each node runs a
+:class:`LocalLearner` — its own copy of the actor-critic plus an A2C-style
+update rule fed only by the experience *of flows decided at that node* —
+and a :class:`FederatedAveraging` synchroniser periodically combines the
+node models (FedAvg: weighted parameter averaging) and redistributes the
+result.  Between synchronisations, training is fully local, so online
+inference is never blocked by network-wide coordination.
+
+The paper's caveat applies and is observable here: nodes that see little
+traffic contribute few updates (their weight in the average is
+proportional to their experience), which is exactly why the paper prefers
+centralized *offline* training for the initial policy.  Federated training
+is the *refinement* stage: start from a centrally trained policy and keep
+adapting online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.distributions import Categorical
+from repro.nn.optim import RMSprop, clip_grads_by_norm
+from repro.rl.policy import ActorCriticPolicy
+
+__all__ = ["FederatedConfig", "LocalLearner", "FederatedAveraging"]
+
+
+@dataclass(frozen=True)
+class FederatedConfig:
+    """Hyperparameters of local learning + federated averaging.
+
+    Attributes:
+        gamma: Discount factor for local n-step returns.
+        learning_rate: Local RMSprop step size (first-order; much smaller
+            than ACKTR's natural-gradient rate).
+        entropy_coef: Entropy bonus, as in A2C.
+        value_loss_coef: Critic loss weight.
+        max_grad_norm: Local gradient clip.
+        batch_size: Local transitions accumulated before a local update.
+        sync_interval_updates: Local updates between federated averaging
+            rounds (per node, on average).
+    """
+
+    gamma: float = 0.99
+    learning_rate: float = 0.001
+    entropy_coef: float = 0.01
+    value_loss_coef: float = 0.25
+    max_grad_norm: float = 0.5
+    batch_size: int = 32
+    sync_interval_updates: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {self.gamma}")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.sync_interval_updates < 1:
+            raise ValueError("sync_interval_updates must be >= 1")
+
+
+class LocalLearner:
+    """Online A2C learner owned by one node.
+
+    Consumes the node's own (observation, action, reward, next observation,
+    done) transitions; once ``batch_size`` transitions accumulate, applies
+    one local actor-critic update.  The node keeps serving inference from
+    the same network throughout — updates are in-place and incremental.
+
+    Args:
+        node: Owning node's name (for bookkeeping).
+        policy: This node's *own copy* of the actor-critic.
+        config: Local learning hyperparameters.
+    """
+
+    def __init__(
+        self, node: str, policy: ActorCriticPolicy, config: FederatedConfig
+    ) -> None:
+        self.node = node
+        self.policy = policy
+        self.config = config
+        self._actor_opt = RMSprop(policy.actor.parameters, lr=config.learning_rate)
+        self._critic_opt = RMSprop(policy.critic.parameters, lr=config.learning_rate)
+        self._obs: List[np.ndarray] = []
+        self._actions: List[int] = []
+        self._rewards: List[float] = []
+        self._next_obs: List[np.ndarray] = []
+        self._dones: List[bool] = []
+        #: Local updates applied so far (drives the averaging weights).
+        self.updates_applied = 0
+        #: Transitions observed in total.
+        self.transitions_seen = 0
+
+    def record(
+        self,
+        obs: np.ndarray,
+        action: int,
+        reward: float,
+        next_obs: np.ndarray,
+        done: bool,
+    ) -> bool:
+        """Add one transition; returns True when a local update ran."""
+        self._obs.append(np.asarray(obs, dtype=np.float64))
+        self._actions.append(int(action))
+        self._rewards.append(float(reward))
+        self._next_obs.append(np.asarray(next_obs, dtype=np.float64))
+        self._dones.append(bool(done))
+        self.transitions_seen += 1
+        if len(self._obs) >= self.config.batch_size:
+            self._update()
+            return True
+        return False
+
+    def _update(self) -> None:
+        cfg = self.config
+        obs = np.stack(self._obs)
+        actions = np.array(self._actions)
+        rewards = np.array(self._rewards)
+        next_obs = np.stack(self._next_obs)
+        dones = np.array(self._dones, dtype=np.float64)
+        self._obs, self._actions, self._rewards = [], [], []
+        self._next_obs, self._dones = [], []
+
+        # 1-step TD targets from the local critic.
+        next_values = self.policy.critic.forward(next_obs)[:, 0]
+        targets = rewards + cfg.gamma * next_values * (1.0 - dones)
+        values = self.policy.critic.forward(obs)[:, 0]
+        advantages = targets - values
+        if advantages.size > 1:
+            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+        batch = obs.shape[0]
+        dist = Categorical(self.policy.actor.forward(obs))
+        dlogits = (
+            -advantages[:, None] * dist.grad_log_prob(actions)
+            - cfg.entropy_coef * dist.grad_entropy()
+        ) / batch
+        self.policy.actor.backward(dlogits)
+        actor_grads = [d.grad for d in self.policy.actor.dense_layers]
+        clip_grads_by_norm(actor_grads, cfg.max_grad_norm)
+        self._actor_opt.step(actor_grads)
+
+        values = self.policy.critic.forward(obs)[:, 0]
+        dvalues = (cfg.value_loss_coef * (values - targets) / batch)[:, None]
+        self.policy.critic.backward(dvalues)
+        critic_grads = [d.grad for d in self.policy.critic.dense_layers]
+        clip_grads_by_norm(critic_grads, cfg.max_grad_norm)
+        self._critic_opt.step(critic_grads)
+
+        self.updates_applied += 1
+
+
+class FederatedAveraging:
+    """FedAvg synchroniser over per-node learners.
+
+    Periodically averages all node models, weighting each node by the
+    number of local updates it contributed since the last round (nodes that
+    saw no traffic neither improve nor dilute the global model), then
+    redistributes the averaged parameters to every node.
+
+    Args:
+        learners: The participating per-node learners.
+    """
+
+    def __init__(self, learners: Sequence[LocalLearner]) -> None:
+        if not learners:
+            raise ValueError("need at least one learner")
+        self.learners = list(learners)
+        self._updates_at_last_sync: Dict[str, int] = {
+            l.node: 0 for l in self.learners
+        }
+        #: Synchronisation rounds performed.
+        self.rounds = 0
+
+    def should_sync(self, interval_updates: int) -> bool:
+        """True once the mean per-node update count since the last round
+        reaches ``interval_updates``."""
+        new_updates = [
+            l.updates_applied - self._updates_at_last_sync[l.node]
+            for l in self.learners
+        ]
+        return float(np.mean(new_updates)) >= interval_updates
+
+    def synchronize(self) -> Dict[str, float]:
+        """Average all models (experience-weighted) and redistribute.
+
+        Returns the weight each node contributed (for observability).
+        """
+        contributions = {
+            l.node: l.updates_applied - self._updates_at_last_sync[l.node]
+            for l in self.learners
+        }
+        total = sum(contributions.values())
+        if total == 0:
+            # Nobody learned anything since the last round: nothing to do.
+            return {node: 0.0 for node in contributions}
+        weights = {node: c / total for node, c in contributions.items()}
+
+        for attr in ("actor", "critic"):
+            nets = [getattr(l.policy, attr) for l in self.learners]
+            averaged = [
+                np.zeros_like(w) for w in nets[0].parameters
+            ]
+            for learner, net in zip(self.learners, nets):
+                w = weights[learner.node]
+                if w == 0.0:
+                    continue
+                for acc, param in zip(averaged, net.parameters):
+                    acc += w * param
+            for net in nets:
+                net.set_parameters(averaged)
+
+        for learner in self.learners:
+            self._updates_at_last_sync[learner.node] = learner.updates_applied
+        self.rounds += 1
+        return weights
+
+    def model_divergence(self) -> float:
+        """Max L2 distance of any node's actor from the mean actor —
+        0 right after a synchronisation round, growing as nodes drift."""
+        stacks = [
+            np.concatenate([w.ravel() for w in l.policy.actor.parameters])
+            for l in self.learners
+        ]
+        mean = np.mean(stacks, axis=0)
+        return float(max(np.linalg.norm(s - mean) for s in stacks))

@@ -1,0 +1,123 @@
+"""Actor-critic policy: separate actor and critic MLPs.
+
+Matches the paper's hyperparameters when left at defaults: two networks
+(actor π_θ and critic V_φ), each with 2x256 tanh hidden units.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.distributions import Categorical
+from repro.nn.mlp import MLP
+
+__all__ = ["ActorCriticPolicy"]
+
+
+class ActorCriticPolicy:
+    """Paired actor (π_θ) and critic (V_φ) networks.
+
+    Args:
+        obs_dim: Observation vector size (``4 Δ_G + 4`` for the paper's
+            POMDP).
+        num_actions: Action count (``Δ_G + 1``).
+        hidden: Hidden layer widths (paper: 2x 256).
+        activation: Hidden activation (paper: tanh).
+        rng: Seed/generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        obs_dim: int,
+        num_actions: int,
+        hidden: Sequence[int] = (256, 256),
+        activation: str = "tanh",
+        rng=None,
+    ) -> None:
+        if num_actions < 1:
+            raise ValueError(f"num_actions must be >= 1, got {num_actions}")
+        rng = np.random.default_rng(rng)
+        self.obs_dim = obs_dim
+        self.num_actions = num_actions
+        self.actor = MLP(obs_dim, hidden, num_actions, activation=activation,
+                         out_gain=0.01, rng=rng)
+        self.critic = MLP(obs_dim, hidden, 1, activation=activation,
+                          out_gain=1.0, rng=rng)
+
+    # ------------------------------------------------------------------
+
+    def distribution(self, obs: np.ndarray) -> Categorical:
+        """Action distribution π(·|obs) for a batch of observations."""
+        return Categorical(self.actor.forward(obs))
+
+    def values(self, obs: np.ndarray) -> np.ndarray:
+        """State-value estimates V_φ(obs), shape (N,)."""
+        return self.critic.forward(obs)[:, 0]
+
+    def act(
+        self,
+        obs: np.ndarray,
+        rng: np.random.Generator,
+        deterministic: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Select actions for a batch of observations.
+
+        Returns ``(actions, values, log_probs)``.  With
+        ``deterministic=True`` the mode (argmax) action is taken — the
+        usual choice for online inference after training.
+        """
+        dist = self.distribution(obs)
+        actions = dist.mode() if deterministic else dist.sample(rng)
+        values = self.values(obs)
+        return actions, values, dist.log_prob(actions)
+
+    def act_single(
+        self,
+        obs: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        deterministic: bool = True,
+    ) -> int:
+        """Select one action for a single observation vector (inference)."""
+        obs = np.asarray(obs, dtype=np.float64)[None, :]
+        dist = self.distribution(obs)
+        if deterministic:
+            return int(dist.mode()[0])
+        if rng is None:
+            raise ValueError("stochastic act_single needs an rng")
+        return int(dist.sample(rng)[0])
+
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "ActorCriticPolicy":
+        """Deep copy — deploying the trained network to each node's agent."""
+        twin = ActorCriticPolicy(
+            self.obs_dim,
+            self.num_actions,
+            hidden=[d.weight.shape[1] for d in self.actor.dense_layers[:-1]],
+        )
+        twin.actor.set_parameters(self.actor.parameters)
+        twin.critic.set_parameters(self.critic.parameters)
+        return twin
+
+    def save(self, path) -> None:
+        """Persist both networks to one ``.npz`` file."""
+        arrays = {f"actor_w{i}": w for i, w in enumerate(self.actor.parameters)}
+        arrays.update({f"critic_w{i}": w for i, w in enumerate(self.critic.parameters)})
+        arrays["meta"] = np.array([self.obs_dim, self.num_actions])
+        np.savez(Path(path), **arrays)
+
+    @classmethod
+    def load(cls, path, hidden: Sequence[int] = (256, 256)) -> "ActorCriticPolicy":
+        data = np.load(Path(path))
+        obs_dim, num_actions = (int(x) for x in data["meta"])
+        policy = cls(obs_dim, num_actions, hidden=hidden)
+        policy.actor.set_parameters(
+            [data[f"actor_w{i}"] for i in range(len(policy.actor.dense_layers))]
+        )
+        policy.critic.set_parameters(
+            [data[f"critic_w{i}"] for i in range(len(policy.critic.dense_layers))]
+        )
+        return policy

@@ -1,0 +1,124 @@
+"""Environment protocol and the parallel-rollout runner.
+
+ACKTR/A3C collect experience from ``l`` parallel copies of the environment
+(Alg. 1, lines 2-3) for more diverse training data.  Environments here are
+stepped round-robin in one process — logically parallel, which is all the
+algorithm requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.policy import ActorCriticPolicy
+
+__all__ = ["Env", "EpisodeRecord", "ParallelRunner"]
+
+
+class Env(Protocol):
+    """Gym-style environment protocol the RL stack trains against."""
+
+    #: Flat observation vector size.
+    observation_size: int
+    #: Number of discrete actions.
+    num_actions: int
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode; returns the first observation."""
+        ...
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        """Apply ``action``; returns (obs, reward, done, info)."""
+        ...
+
+
+@dataclass
+class EpisodeRecord:
+    """Summary of one finished episode."""
+
+    total_reward: float
+    length: int
+    info: Dict[str, Any] = field(default_factory=dict)
+
+
+class ParallelRunner:
+    """Steps ``l`` environments with a shared policy, filling rollouts.
+
+    Args:
+        envs: The parallel environment copies (len = ``l``).
+        policy: Shared actor-critic used for action selection.
+        n_steps: Transitions per environment per rollout (mini-batch b has
+            ``l * n_steps`` experiences).
+        rng: Generator for action sampling.
+    """
+
+    def __init__(
+        self,
+        envs: List[Env],
+        policy: ActorCriticPolicy,
+        n_steps: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if not envs:
+            raise ValueError("need at least one environment")
+        sizes = {env.observation_size for env in envs}
+        actions = {env.num_actions for env in envs}
+        if len(sizes) != 1 or len(actions) != 1:
+            raise ValueError(
+                "all parallel environments must share observation/action spaces "
+                f"(got sizes {sizes}, actions {actions})"
+            )
+        if policy.obs_dim != sizes.pop() or policy.num_actions != actions.pop():
+            raise ValueError("policy spaces do not match the environments")
+        self.envs = envs
+        self.policy = policy
+        self.n_steps = n_steps
+        self.rng = rng
+        self._obs = np.stack([env.reset() for env in envs])
+        self._episode_rewards = np.zeros(len(envs))
+        self._episode_lengths = np.zeros(len(envs), dtype=np.int64)
+        #: Completed-episode summaries, drained by the trainer.
+        self.finished_episodes: List[EpisodeRecord] = []
+
+    def collect(self, buffer: RolloutBuffer) -> np.ndarray:
+        """Fill ``buffer`` with ``n_steps`` of experience per env.
+
+        Returns the critic's values of the final observations (for
+        bootstrapping the returns).  Episodes that end mid-rollout are
+        recorded in :attr:`finished_episodes` and their env auto-reset.
+        """
+        buffer.reset()
+        for _ in range(self.n_steps):
+            actions, values, _ = self.policy.act(self._obs, self.rng)
+            next_obs = np.empty_like(self._obs)
+            rewards = np.zeros(len(self.envs))
+            dones = np.zeros(len(self.envs))
+            for i, env in enumerate(self.envs):
+                obs, reward, done, info = env.step(int(actions[i]))
+                self._episode_rewards[i] += reward
+                self._episode_lengths[i] += 1
+                if done:
+                    self.finished_episodes.append(
+                        EpisodeRecord(
+                            total_reward=float(self._episode_rewards[i]),
+                            length=int(self._episode_lengths[i]),
+                            info=dict(info),
+                        )
+                    )
+                    self._episode_rewards[i] = 0.0
+                    self._episode_lengths[i] = 0
+                    obs = env.reset()
+                next_obs[i] = obs
+                rewards[i] = reward
+                dones[i] = float(done)
+            buffer.add(self._obs, actions, rewards, dones, values)
+            self._obs = next_obs
+        return self.policy.values(self._obs)
+
+    def drain_episodes(self) -> List[EpisodeRecord]:
+        episodes, self.finished_episodes = self.finished_episodes, []
+        return episodes

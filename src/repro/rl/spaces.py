@@ -1,0 +1,70 @@
+"""Minimal observation/action space descriptions (OpenAI-Gym-style).
+
+The paper implements the OpenAI Gym interface through adapters (Fig. 5).
+These tiny space classes carry the same information Gym spaces would —
+dimensions, bounds, and sampling/containment checks — without the
+dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Discrete", "Box"]
+
+
+@dataclass(frozen=True)
+class Discrete:
+    """Action space ``{0, 1, ..., n - 1}``.
+
+    The paper's action space is ``{0, ..., Δ_G}`` so ``n = Δ_G + 1``.
+    """
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"Discrete space needs n >= 1, got {self.n}")
+
+    def contains(self, action: int) -> bool:
+        return 0 <= int(action) < self.n
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.n))
+
+
+@dataclass(frozen=True)
+class Box:
+    """Continuous observation space ``[low, high]^shape``.
+
+    The paper's observations are normalised into [-1, 1] (Sec. IV-B1).
+    """
+
+    low: float
+    high: float
+    shape: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.low >= self.high:
+            raise ValueError(f"Box needs low < high, got [{self.low}, {self.high}]")
+        if any(s < 1 for s in self.shape):
+            raise ValueError(f"Box shape must be positive, got {self.shape}")
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for s in self.shape:
+            out *= s
+        return out
+
+    def contains(self, obs: np.ndarray) -> bool:
+        obs = np.asarray(obs)
+        return obs.shape == self.shape and bool(
+            np.all(obs >= self.low - 1e-9) and np.all(obs <= self.high + 1e-9)
+        )
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=self.shape)

@@ -1,0 +1,132 @@
+"""Multi-seed training with best-agent selection (Alg. 1, line 13).
+
+Random seeds have a significant impact on DRL convergence [43], so the
+paper trains ``k`` agents with different seeds and automatically selects
+the one with the highest reward for online inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.rl.a2c import A2CConfig, A2CTrainer
+from repro.rl.acktr import ACKTRConfig, ACKTRTrainer
+from repro.rl.policy import ActorCriticPolicy
+from repro.rl.runner import Env
+
+__all__ = ["SeedResult", "MultiSeedResult", "train_multi_seed", "evaluate_policy"]
+
+
+@dataclass
+class SeedResult:
+    """Outcome of training one seed."""
+
+    seed: int
+    policy: ActorCriticPolicy
+    mean_episode_reward: float
+    episodes: int
+
+
+@dataclass
+class MultiSeedResult:
+    """All seeds' outcomes plus the selected best agent."""
+
+    results: List[SeedResult]
+    best: SeedResult
+
+    @property
+    def best_policy(self) -> ActorCriticPolicy:
+        return self.best.policy
+
+
+def evaluate_policy(
+    policy: ActorCriticPolicy,
+    env: Env,
+    episodes: int = 1,
+    deterministic: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """Run ``episodes`` full episodes; returns mean reward and final infos.
+
+    The coordination environment reports the simulation's success ratio in
+    the terminal ``info`` dict; when present it is averaged into the
+    result under ``"success_ratio"``.
+    """
+    rng = rng or np.random.default_rng(0)
+    total_rewards: List[float] = []
+    success_ratios: List[float] = []
+    for _ in range(episodes):
+        obs = env.reset()
+        done = False
+        total = 0.0
+        info: Dict = {}
+        while not done:
+            action = policy.act_single(obs, rng=rng, deterministic=deterministic)
+            obs, reward, done, info = env.step(action)
+            total += reward
+        total_rewards.append(total)
+        if "success_ratio" in info:
+            success_ratios.append(float(info["success_ratio"]))
+    out = {"mean_episode_reward": float(np.mean(total_rewards))}
+    if success_ratios:
+        out["success_ratio"] = float(np.mean(success_ratios))
+    return out
+
+
+def train_multi_seed(
+    env_factory: Callable[[], Env],
+    config: A2CConfig = ACKTRConfig(),
+    seeds: Sequence[int] = tuple(range(10)),
+    updates_per_seed: int = 50,
+    eval_episodes: int = 1,
+    algorithm: str = "acktr",
+    verbose: bool = False,
+) -> MultiSeedResult:
+    """Train ``len(seeds)`` agents and select the best (Alg. 1, line 13).
+
+    Args:
+        env_factory: Creates fresh environment copies (used for both
+            training and evaluation).
+        config: Trainer hyperparameters (k seeds x l parallel envs).
+        seeds: Training seeds (paper: k = 10).
+        updates_per_seed: Gradient updates per seed.
+        eval_episodes: Greedy evaluation episodes for agent selection.
+        algorithm: ``"acktr"`` (paper) or ``"a2c"`` (ablation).
+        verbose: Print one line per seed.
+
+    Returns:
+        Per-seed results and the best agent by greedy evaluation reward.
+    """
+    if algorithm not in ("acktr", "a2c"):
+        raise ValueError(f"unknown algorithm {algorithm!r}; use 'acktr' or 'a2c'")
+    trainer_cls = ACKTRTrainer if algorithm == "acktr" else A2CTrainer
+    if algorithm == "acktr" and not isinstance(config, ACKTRConfig):
+        config = ACKTRConfig(**config.__dict__)
+
+    results: List[SeedResult] = []
+    for seed in seeds:
+        trainer = trainer_cls(env_factory, config, seed=seed)
+        trainer.train(updates_per_seed)
+        evaluation = evaluate_policy(
+            trainer.policy,
+            env_factory(),
+            episodes=eval_episodes,
+            rng=np.random.default_rng(seed),
+        )
+        result = SeedResult(
+            seed=seed,
+            policy=trainer.policy,
+            mean_episode_reward=evaluation["mean_episode_reward"],
+            episodes=len(trainer.episode_history),
+        )
+        results.append(result)
+        if verbose:
+            print(
+                f"seed {seed}: eval_reward={result.mean_episode_reward:.1f} "
+                f"episodes={result.episodes}"
+            )
+    best = max(results, key=lambda r: r.mean_episode_reward)
+    return MultiSeedResult(results=results, best=best)

@@ -1,0 +1,79 @@
+"""Pre-built services used in the paper's evaluation and in the examples."""
+
+from __future__ import annotations
+
+from repro.services.service import Component, Service, ServiceCatalog
+
+__all__ = [
+    "video_streaming_service",
+    "web_service",
+    "ml_inference_pipeline",
+    "single_component_service",
+    "default_catalog",
+]
+
+
+def video_streaming_service(
+    processing_delay: float = 5.0,
+    startup_delay: float = 0.0,
+    idle_timeout: float = 100.0,
+) -> Service:
+    """The paper's base-scenario service ``s`` with ``C_s = <FW, IDS, video>``.
+
+    All three components have the same processing delay (5 ms in the paper)
+    and resource demand linear in the flow's data rate.
+    """
+    make = lambda name: Component(
+        name,
+        processing_delay=processing_delay,
+        startup_delay=startup_delay,
+        idle_timeout=idle_timeout,
+        resource_coefficient=1.0,
+    )
+    return Service("video-streaming", [make("FW"), make("IDS"), make("video")])
+
+
+def web_service(processing_delay: float = 3.0) -> Service:
+    """A two-component web service <LB, app> for multi-service scenarios."""
+    return Service(
+        "web",
+        [
+            Component("LB", processing_delay=processing_delay, resource_coefficient=0.5),
+            Component("app", processing_delay=2 * processing_delay, resource_coefficient=1.0),
+        ],
+    )
+
+
+def ml_inference_pipeline(processing_delay: float = 4.0) -> Service:
+    """A four-stage ML pipeline <ingest, preprocess, model, postprocess>.
+
+    Mirrors the paper's motivation of machine-learning functions chained in
+    a pipeline (ITU-T Y.3172); the longer chain stresses scaling/placement.
+    """
+    make = lambda name, coeff: Component(
+        name, processing_delay=processing_delay, resource_coefficient=coeff
+    )
+    return Service(
+        "ml-pipeline",
+        [
+            make("ingest", 0.3),
+            make("preprocess", 0.6),
+            make("model", 1.2),
+            make("postprocess", 0.4),
+        ],
+    )
+
+
+def single_component_service(
+    name: str = "passthrough",
+    processing_delay: float = 1.0,
+) -> Service:
+    """A one-component service — the minimal chain, handy in unit tests."""
+    return Service(
+        name, [Component(f"{name}-c1", processing_delay=processing_delay)]
+    )
+
+
+def default_catalog() -> ServiceCatalog:
+    """Catalog holding the paper's base-scenario video streaming service."""
+    return ServiceCatalog([video_streaming_service()])

@@ -1,0 +1,102 @@
+"""Discrete-event machinery for the flow-level simulator.
+
+The simulator (Sec. III's model) is event-driven over continuous time.
+This module provides the event taxonomy and a stable priority queue:
+events fire in time order, with FIFO tie-breaking for simultaneous events
+so that simulation runs are fully deterministic given the same inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.traffic.flows import Flow, FlowSpec
+
+__all__ = [
+    "EventKind",
+    "Event",
+    "EventQueue",
+]
+
+
+class EventKind(Enum):
+    """All event types the simulator processes."""
+
+    #: A new flow enters the network at its ingress node.
+    FLOW_INJECTION = auto()
+    #: A flow's head is at a node and the coordination policy must act.
+    DECISION = auto()
+    #: A component instance finished processing a flow's head.
+    PROCESSING_DONE = auto()
+    #: A flow's head arrives at the far end of a link.
+    LINK_ARRIVAL = auto()
+    #: A node-resource allocation ends (flow tail left the instance).
+    RELEASE_NODE = auto()
+    #: A link-rate allocation ends (flow tail left the link).
+    RELEASE_LINK = auto()
+    #: Check whether an idle instance should be removed (scale-in).
+    INSTANCE_TIMEOUT = auto()
+    #: A flow's deadline τ_f elapsed; drop it if still active.
+    FLOW_EXPIRY = auto()
+
+
+@dataclass
+class Event:
+    """One scheduled event.
+
+    ``payload`` is event-kind specific:
+
+    - FLOW_INJECTION: :class:`~repro.traffic.flows.FlowSpec`
+    - DECISION, PROCESSING_DONE, LINK_ARRIVAL, FLOW_EXPIRY:
+      :class:`~repro.traffic.flows.Flow`
+    - RELEASE_NODE / RELEASE_LINK: an allocation record
+      (:class:`repro.sim.state.Allocation`)
+    - INSTANCE_TIMEOUT: ``(node_name, component_name, due_time)``
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+    #: Extra context (e.g. the node for PROCESSING_DONE / LINK_ARRIVAL).
+    node: Optional[str] = None
+    #: Set to True to make the event a no-op when popped (cheap cancel).
+    cancelled: bool = False
+
+
+class EventQueue:
+    """Time-ordered event queue with deterministic FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> Event:
+        """Schedule ``event``; returns it (handy for keeping cancel handles)."""
+        if event.time < 0:
+            raise ValueError(f"cannot schedule event in negative time: {event.time}")
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest non-cancelled event, or None when empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,140 @@
+"""Metrics collection for simulation runs.
+
+The paper's headline metric is the percentage of successful flows
+(objective ``o_f``, Eq. 1); Fig. 7 additionally reports the average
+end-to-end delay of completed flows.  :class:`MetricsCollector` gathers
+those plus per-drop-reason counts and running time-series so results can
+be inspected over the course of a run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.traffic.flows import Flow
+
+__all__ = ["DropReason", "MetricsCollector", "SimulationMetrics"]
+
+
+class DropReason:
+    """String constants for why flows get dropped (stable API for tests)."""
+
+    NODE_CAPACITY = "node_capacity"
+    LINK_CAPACITY = "link_capacity"
+    INVALID_ACTION = "invalid_action"
+    DEADLINE_EXPIRED = "deadline_expired"
+    HORIZON_REACHED = "horizon_reached"
+
+    ALL = (
+        NODE_CAPACITY,
+        LINK_CAPACITY,
+        INVALID_ACTION,
+        DEADLINE_EXPIRED,
+        HORIZON_REACHED,
+    )
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """Immutable summary of one simulation run.
+
+    Attributes:
+        flows_generated: Flows injected at ingresses.
+        flows_succeeded: Flows that reached their egress fully processed
+            within their deadline.
+        flows_dropped: Flows dropped for any reason.
+        drop_reasons: Per-reason drop counts.
+        success_ratio: ``|F_succ| / (|F_succ| + |F_drop|)`` — the paper's
+            objective ``o_f``; 0.0 when no flow finished.
+        avg_end_to_end_delay: Mean ``d_f`` over successful flows (None if
+            none succeeded).
+        avg_hops: Mean link traversals of successful flows.
+        decisions: Total coordination decisions taken.
+        horizon: Simulated time span.
+    """
+
+    flows_generated: int
+    flows_succeeded: int
+    flows_dropped: int
+    drop_reasons: Dict[str, int]
+    success_ratio: float
+    avg_end_to_end_delay: Optional[float]
+    avg_hops: Optional[float]
+    decisions: int
+    horizon: float
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        delay = (
+            f"{self.avg_end_to_end_delay:.2f}"
+            if self.avg_end_to_end_delay is not None
+            else "n/a"
+        )
+        return (
+            f"flows={self.flows_generated} success={self.flows_succeeded} "
+            f"dropped={self.flows_dropped} ratio={self.success_ratio:.3f} "
+            f"avg_delay={delay}"
+        )
+
+
+class MetricsCollector:
+    """Accumulates flow outcomes during a simulation run."""
+
+    def __init__(self) -> None:
+        self.flows_generated = 0
+        self.flows_succeeded = 0
+        self.flows_dropped = 0
+        self.drop_reasons: Counter = Counter()
+        self.decisions = 0
+        self._delays: List[float] = []
+        self._hops: List[int] = []
+        #: (time, success_ratio_so_far) samples, one per finished flow.
+        self.success_series: List[Tuple[float, float]] = []
+
+    def record_generated(self, flow: Flow) -> None:
+        self.flows_generated += 1
+
+    def record_decision(self) -> None:
+        self.decisions += 1
+
+    def record_success(self, flow: Flow) -> None:
+        self.flows_succeeded += 1
+        delay = flow.end_to_end_delay()
+        assert delay is not None
+        self._delays.append(delay)
+        self._hops.append(flow.hops)
+        self._sample(flow.finish_time)
+
+    def record_drop(self, flow: Flow, reason: str) -> None:
+        self.flows_dropped += 1
+        self.drop_reasons[reason] += 1
+        self._sample(flow.finish_time)
+
+    def _sample(self, time: Optional[float]) -> None:
+        finished = self.flows_succeeded + self.flows_dropped
+        if time is not None and finished > 0:
+            self.success_series.append((time, self.flows_succeeded / finished))
+
+    @property
+    def success_ratio(self) -> float:
+        """Objective ``o_f`` so far (0.0 before any flow finishes)."""
+        finished = self.flows_succeeded + self.flows_dropped
+        return self.flows_succeeded / finished if finished else 0.0
+
+    def finalize(self, horizon: float) -> SimulationMetrics:
+        """Freeze the collected counters into a :class:`SimulationMetrics`."""
+        return SimulationMetrics(
+            flows_generated=self.flows_generated,
+            flows_succeeded=self.flows_succeeded,
+            flows_dropped=self.flows_dropped,
+            drop_reasons=dict(self.drop_reasons),
+            success_ratio=self.success_ratio,
+            avg_end_to_end_delay=(
+                sum(self._delays) / len(self._delays) if self._delays else None
+            ),
+            avg_hops=(sum(self._hops) / len(self._hops) if self._hops else None),
+            decisions=self.decisions,
+            horizon=horizon,
+        )

@@ -1,0 +1,509 @@
+"""Flow-level discrete-event network simulator (coord-sim equivalent).
+
+Implements the simulation model of Sec. III:
+
+- flows are continuous streams (fluid approximation): the head of a flow
+  can be several hops ahead of its tail, so a flow of duration ``δ_f``
+  occupies a link's rate for ``d_l + δ_f`` and a node's compute for
+  ``d_c + δ_f`` (head-to-tail residence),
+- a coordination decision is required whenever a flow's head arrives at a
+  node (on injection, after a link traversal, and after each completed
+  component processing),
+- processing locally implies scaling/placement: a missing instance is
+  started automatically (startup delay ``d^up_c``) and idle instances are
+  removed after their timeout ``δ_c``,
+- capacity violations, invalid actions, and deadline expiry drop the flow
+  and free everything it still holds.
+
+The simulator is a *stepped* engine so that both reinforcement-learning
+environments and hand-written policies can drive it::
+
+    sim = Simulator(network, catalog, traffic, config)
+    while (decision := sim.next_decision()) is not None:
+        sim.apply_action(my_policy(decision, sim))
+    metrics = sim.finalize()
+
+Between :meth:`Simulator.next_decision` and :meth:`Simulator.apply_action`
+the simulation is paused at the decision's timestamp; semantic outcome
+events (flow completed, dropped, instance traversed, ...) accumulate and
+can be drained with :meth:`Simulator.drain_outcomes` — the reward function
+of the DRL environment is computed from those.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.services.service import Component, Service, ServiceCatalog
+from repro.sim.config import SimulationConfig
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.metrics import DropReason, MetricsCollector, SimulationMetrics
+from repro.sim.state import Allocation, CapacityError, NetworkState
+from repro.topology.network import Network
+from repro.traffic.flows import Flow, FlowSpec, FlowStatus
+
+__all__ = [
+    "ACTION_PROCESS_LOCALLY",
+    "DecisionPoint",
+    "OutcomeKind",
+    "Outcome",
+    "Simulator",
+]
+
+#: Action 0 = process the flow locally (or keep it, when fully processed).
+ACTION_PROCESS_LOCALLY = 0
+
+
+@dataclass(frozen=True)
+class DecisionPoint:
+    """A pending coordination decision.
+
+    Attributes:
+        time: Simulation time of the decision.
+        flow: The flow whose head awaits an action.
+        node: The node where the flow's head currently is.
+    """
+
+    time: float
+    flow: Flow
+    node: str
+
+
+class OutcomeKind(Enum):
+    """Semantic outcome events the reward function consumes (Sec. IV-B3)."""
+
+    FLOW_SUCCESS = auto()       # +10
+    FLOW_DROP = auto()          # -10
+    INSTANCE_TRAVERSED = auto() # +1 / n_s
+    LINK_TRAVERSED = auto()     # -d_l / D_G
+    FLOW_KEPT = auto()          # -1 / D_G
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One semantic outcome.
+
+    Attributes:
+        kind: What happened.
+        time: When it happened.
+        flow_id: The flow concerned.
+        chain_length: Service chain length ``n_s`` (INSTANCE_TRAVERSED).
+        link_delay: Delay ``d_l`` of the traversed link (LINK_TRAVERSED).
+        drop_reason: Why the flow was dropped (FLOW_DROP).
+    """
+
+    kind: OutcomeKind
+    time: float
+    flow_id: int
+    chain_length: Optional[int] = None
+    link_delay: Optional[float] = None
+    drop_reason: Optional[str] = None
+
+
+@dataclass
+class _Residence:
+    """Tracks a flow currently resident in an instance (for drop cleanup)."""
+
+    node: str
+    component: str
+    done_event: Event
+    release_event: Event
+
+
+class Simulator:
+    """The stepped flow-level simulator.
+
+    Args:
+        network: Substrate topology (capacities, delays, ingress/egress).
+        catalog: Services available; every injected flow must request one.
+        traffic: Time-ordered iterable of :class:`FlowSpec` (usually a
+            :meth:`repro.traffic.arrival.TrafficSource.flows_until`
+            generator).  Out-of-order specs raise at injection time.
+        config: Simulation knobs (horizon etc.).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        catalog: ServiceCatalog,
+        traffic: Iterable[FlowSpec],
+        config: SimulationConfig = SimulationConfig(),
+    ) -> None:
+        self.network = network
+        self.catalog = catalog
+        self.config = config
+        self.state = NetworkState(network)
+        self.metrics = MetricsCollector()
+        self.now: float = 0.0
+
+        self._queue = EventQueue()
+        self._traffic: Iterator[FlowSpec] = iter(traffic)
+        self._pending: Optional[DecisionPoint] = None
+        self._outcomes: List[Outcome] = []
+        self._allocations: Dict[int, List[Allocation]] = {}
+        self._residences: Dict[int, _Residence] = {}
+        self._expiry_events: Dict[int, Event] = {}
+        self._active_flows: Dict[int, Flow] = {}
+        self._last_injection_time = 0.0
+        self._finalized = False
+        #: Mean wall-clock seconds per policy call of the last :meth:`run`
+        #: with ``time_decisions=True`` (Fig. 9b).
+        self.mean_decision_seconds: float = 0.0
+        self._schedule_next_injection()
+
+    # ------------------------------------------------------------------
+    # Public stepped API
+    # ------------------------------------------------------------------
+
+    def next_decision(self) -> Optional[DecisionPoint]:
+        """Advance the simulation to the next coordination decision.
+
+        Returns ``None`` once no further decision will occur before the
+        horizon (all events processed or beyond ``config.horizon``).
+        """
+        if self._pending is not None:
+            raise RuntimeError(
+                "previous decision not resolved; call apply_action() first"
+            )
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > self.config.horizon:
+                return None
+            event = self._queue.pop()
+            assert event is not None
+            self.now = event.time
+            self._dispatch(event)
+            if self.config.check_invariants:
+                self.state.check_invariants()
+            if self._pending is not None:
+                return self._pending
+
+    def apply_action(self, action: int) -> None:
+        """Resolve the pending decision with ``action ∈ {0, ..., Δ_G}``.
+
+        Action semantics (Sec. IV-B2): 0 processes/keeps the flow locally;
+        ``a > 0`` forwards it to the node's a-th neighbor (sorted order).
+        An action pointing at a non-existing neighbor drops the flow.
+        """
+        if self._pending is None:
+            raise RuntimeError("no pending decision; call next_decision() first")
+        if action < 0 or action > self.network.degree:
+            # Reject before consuming the pending decision so the caller
+            # can retry with a valid action.
+            raise ValueError(
+                f"action {action} outside action space [0, {self.network.degree}]"
+            )
+        decision = self._pending
+        self._pending = None
+        self.metrics.record_decision()
+        flow, node = decision.flow, decision.node
+
+        if flow.status is not FlowStatus.ACTIVE:
+            return  # dropped by a simultaneous event (e.g. exact-deadline expiry)
+        if flow.expired(self.now):
+            self._drop(flow, DropReason.DEADLINE_EXPIRED)
+            return
+
+        neighbors = self.network.neighbors(node)
+        if action == ACTION_PROCESS_LOCALLY:
+            if flow.fully_processed:
+                self._keep_flow(flow, node)
+            else:
+                self._process_locally(flow, node)
+        elif action > len(neighbors):
+            # Valid action index, but this node has fewer neighbors: the
+            # flow is sent to a dummy neighbor and dropped (high penalty).
+            self._drop(flow, DropReason.INVALID_ACTION)
+        else:
+            self._forward(flow, node, neighbors[action - 1])
+
+    def drain_outcomes(self) -> List[Outcome]:
+        """Return and clear the semantic outcomes accumulated so far."""
+        outcomes, self._outcomes = self._outcomes, []
+        return outcomes
+
+    def run(
+        self,
+        policy: Callable[[DecisionPoint, "Simulator"], int],
+        time_decisions: bool = False,
+    ) -> SimulationMetrics:
+        """Drive the whole simulation with ``policy`` and finalize.
+
+        Args:
+            policy: Callable mapping (decision, simulator) to an action.
+            time_decisions: Measure wall-clock time per policy call; the
+                mean is exposed as :attr:`mean_decision_seconds` (used for
+                the paper's Fig. 9b inference-time comparison).
+        """
+        total_seconds = 0.0
+        calls = 0
+        while (decision := self.next_decision()) is not None:
+            if time_decisions:
+                start = _time.perf_counter()
+                action = policy(decision, self)
+                total_seconds += _time.perf_counter() - start
+                calls += 1
+            else:
+                action = policy(decision, self)
+            self.apply_action(action)
+        self.mean_decision_seconds = total_seconds / calls if calls else 0.0
+        return self.finalize()
+
+    def finalize(self) -> SimulationMetrics:
+        """Close the run and return summary metrics.
+
+        With ``config.drop_active_at_horizon`` every still-active flow is
+        counted as dropped; otherwise unfinished flows stay uncounted.
+        """
+        if not self._finalized:
+            self._finalized = True
+            if self.config.drop_active_at_horizon:
+                for flow in list(self._active_flows.values()):
+                    self._drop(flow, DropReason.HORIZON_REACHED)
+        return self.metrics.finalize(self.config.horizon)
+
+    @property
+    def active_flow_count(self) -> int:
+        """Flows injected but not yet finished."""
+        return len(self._active_flows)
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, event: Event) -> None:
+        if event.kind is EventKind.FLOW_INJECTION:
+            self._inject(event.payload)
+        elif event.kind is EventKind.DECISION:
+            flow: Flow = event.payload
+            if flow.status is FlowStatus.ACTIVE:
+                self._pending = DecisionPoint(self.now, flow, flow.current_node)
+        elif event.kind is EventKind.PROCESSING_DONE:
+            self._processing_done(event.payload)
+        elif event.kind is EventKind.LINK_ARRIVAL:
+            self._link_arrival(event.payload, event.node)
+        elif event.kind in (EventKind.RELEASE_NODE, EventKind.RELEASE_LINK):
+            self.state.release(event.payload)
+        elif event.kind is EventKind.INSTANCE_TIMEOUT:
+            self._instance_timeout(*event.payload)
+        elif event.kind is EventKind.FLOW_EXPIRY:
+            flow = event.payload
+            if flow.status is FlowStatus.ACTIVE:
+                self._drop(flow, DropReason.DEADLINE_EXPIRED)
+        else:  # pragma: no cover - taxonomy is closed
+            raise ValueError(f"unhandled event kind {event.kind}")
+
+    # ------------------------------------------------------------------
+    # Flow lifecycle
+    # ------------------------------------------------------------------
+
+    def _schedule_next_injection(self) -> None:
+        spec = next(self._traffic, None)
+        if spec is None:
+            return
+        if spec.arrival_time < self._last_injection_time:
+            raise ValueError(
+                f"traffic out of order: flow at t={spec.arrival_time} after "
+                f"t={self._last_injection_time}"
+            )
+        self._last_injection_time = spec.arrival_time
+        self._queue.push(Event(spec.arrival_time, EventKind.FLOW_INJECTION, spec))
+
+    def _inject(self, spec: FlowSpec) -> None:
+        # Keep exactly one future injection scheduled: lazy merge with the
+        # traffic generator so arbitrarily long horizons stay cheap.
+        self._schedule_next_injection()
+        if not self.network.has_node(spec.ingress):
+            raise ValueError(f"flow ingress {spec.ingress!r} not in network")
+        if not self.network.has_node(spec.egress):
+            raise ValueError(f"flow egress {spec.egress!r} not in network")
+        service = self.catalog.service(spec.service)
+        flow = Flow(spec, chain_length=service.length)
+        self._active_flows[flow.flow_id] = flow
+        self.metrics.record_generated(flow)
+        self._expiry_events[flow.flow_id] = self._queue.push(
+            Event(spec.arrival_time + spec.deadline, EventKind.FLOW_EXPIRY, flow)
+        )
+        self._flow_at_node(flow)
+
+    def _flow_at_node(self, flow: Flow) -> None:
+        """The flow's head is at ``flow.current_node``: finish or ask for a decision."""
+        if flow.fully_processed and flow.current_node == flow.egress:
+            self._succeed(flow)
+            return
+        self._queue.push(Event(self.now, EventKind.DECISION, flow))
+
+    def _succeed(self, flow: Flow) -> None:
+        flow.mark_succeeded(self.now)
+        self._finish(flow)
+        self.metrics.record_success(flow)
+        self._outcomes.append(
+            Outcome(OutcomeKind.FLOW_SUCCESS, self.now, flow.flow_id)
+        )
+
+    def _drop(self, flow: Flow, reason: str) -> None:
+        flow.mark_dropped(self.now, reason)
+        # Free everything the flow still blocks (paper: expiry "frees any
+        # currently blocked resources") and neutralise its future events.
+        for allocation in self._allocations.pop(flow.flow_id, []):
+            self.state.release(allocation)
+        residence = self._residences.pop(flow.flow_id, None)
+        if residence is not None:
+            residence.done_event.cancelled = True
+            residence.release_event.cancelled = True
+            self.state.instance_end_flow(residence.node, residence.component, self.now)
+            self._maybe_schedule_instance_timeout(residence.node, residence.component)
+        self._finish(flow)
+        self.metrics.record_drop(flow, reason)
+        self._outcomes.append(
+            Outcome(OutcomeKind.FLOW_DROP, self.now, flow.flow_id, drop_reason=reason)
+        )
+
+    def _finish(self, flow: Flow) -> None:
+        self._active_flows.pop(flow.flow_id, None)
+        expiry = self._expiry_events.pop(flow.flow_id, None)
+        if expiry is not None:
+            expiry.cancelled = True
+        self._allocations.pop(flow.flow_id, None)
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    def _keep_flow(self, flow: Flow, node: str) -> None:
+        """Action 0 on a fully processed flow away from its egress: the flow
+        waits one time step and the agent is queried again (small penalty)."""
+        self._outcomes.append(Outcome(OutcomeKind.FLOW_KEPT, self.now, flow.flow_id))
+        self._queue.push(
+            Event(self.now + self.config.keep_duration, EventKind.DECISION, flow)
+        )
+
+    def _process_locally(self, flow: Flow, node: str) -> None:
+        service = self.catalog.service(flow.service)
+        assert flow.component_index is not None
+        component = service.component_at(flow.component_index)
+        demand = component.resources(flow.data_rate)
+
+        try:
+            allocation = self.state.allocate_node(node, demand, flow.flow_id)
+        except CapacityError:
+            self._drop(flow, DropReason.NODE_CAPACITY)
+            return
+
+        # Scaling & placement are derived from the processing decision
+        # (Sec. IV-A): ensure an instance exists, starting one if needed.
+        instance = self.state.instance(node, component.name)
+        if instance is None:
+            instance = self.state.place_instance(
+                node, component.name, self.now, component.startup_delay
+            )
+        start = max(self.now, instance.ready_at)
+        done_time = start + component.processing_delay
+        release_time = done_time + flow.duration
+
+        self.state.instance_begin_flow(node, component.name)
+        done_event = self._queue.push(Event(done_time, EventKind.PROCESSING_DONE, flow))
+        release_event = self._queue.push(
+            Event(release_time, EventKind.RELEASE_NODE, allocation)
+        )
+        self._allocations.setdefault(flow.flow_id, []).append(allocation)
+        self._residences[flow.flow_id] = _Residence(
+            node, component.name, done_event, release_event
+        )
+
+    def _processing_done(self, flow: Flow) -> None:
+        if flow.status is not FlowStatus.ACTIVE:
+            return
+        residence = self._residences.pop(flow.flow_id, None)
+        assert residence is not None, f"flow {flow.flow_id} finished with no residence"
+        # The instance stays busy until the flow's tail leaves (duration
+        # later); schedule that transition via the release event's time by
+        # ending the residence when the node allocation releases.  We end it
+        # here plus duration using a dedicated callback through the release
+        # event: simplest is to end the busy count now + duration.
+        node, component = residence.node, residence.component
+        self._queue.push(
+            Event(
+                self.now + flow.duration,
+                EventKind.INSTANCE_TIMEOUT,
+                # Reuse the timeout event with a sentinel due time of -1 to
+                # mean "flow tail left; decrement busy and maybe arm timer".
+                (node, component, -1.0),
+            )
+        )
+        flow.advance_component()
+        self._outcomes.append(
+            Outcome(
+                OutcomeKind.INSTANCE_TRAVERSED,
+                self.now,
+                flow.flow_id,
+                chain_length=flow.chain_length,
+            )
+        )
+        self._flow_at_node(flow)
+
+    def _forward(self, flow: Flow, node: str, neighbor: str) -> None:
+        link = self.network.link(node, neighbor)
+        try:
+            allocation = self.state.allocate_link(
+                node, neighbor, flow.data_rate, flow.flow_id
+            )
+        except CapacityError:
+            self._drop(flow, DropReason.LINK_CAPACITY)
+            return
+        self._allocations.setdefault(flow.flow_id, []).append(allocation)
+        self._queue.push(
+            Event(self.now + link.delay, EventKind.LINK_ARRIVAL, flow, node=neighbor)
+        )
+        self._queue.push(
+            Event(self.now + link.delay + flow.duration, EventKind.RELEASE_LINK, allocation)
+        )
+        self._outcomes.append(
+            Outcome(
+                OutcomeKind.LINK_TRAVERSED,
+                self.now,
+                flow.flow_id,
+                link_delay=link.delay,
+            )
+        )
+
+    def _link_arrival(self, flow: Flow, node: Optional[str]) -> None:
+        if flow.status is not FlowStatus.ACTIVE:
+            return
+        assert node is not None
+        flow.hops += 1
+        flow.current_node = node
+        self._flow_at_node(flow)
+
+    # ------------------------------------------------------------------
+    # Instance lifecycle (scale-in)
+    # ------------------------------------------------------------------
+
+    def _instance_timeout(self, node: str, component: str, due: float) -> None:
+        if due < 0:
+            # Sentinel: a flow's tail just left the instance.
+            self.state.instance_end_flow(node, component, self.now)
+            self._maybe_schedule_instance_timeout(node, component)
+            return
+        instance = self.state.instance(node, component)
+        if instance is None or instance.busy_flows > 0 or instance.idle_since is None:
+            return
+        timeout = self.catalog.component(component).idle_timeout
+        if self.now - instance.idle_since >= timeout - 1e-9:
+            self.state.remove_instance(node, component)
+
+    def _maybe_schedule_instance_timeout(self, node: str, component: str) -> None:
+        instance = self.state.instance(node, component)
+        if instance is None or instance.idle_since is None:
+            return
+        timeout = self.catalog.component(component).idle_timeout
+        self._queue.push(
+            Event(
+                instance.idle_since + timeout,
+                EventKind.INSTANCE_TIMEOUT,
+                (node, component, instance.idle_since + timeout),
+            )
+        )

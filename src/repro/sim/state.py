@@ -1,0 +1,251 @@
+"""Mutable runtime state of the substrate network.
+
+Tracks, at any simulation instant:
+
+- **node load** ``r_v(t)`` — total resources consumed by flows currently
+  processed at each node (must stay <= ``cap_v``),
+- **link load** ``r_l(t)`` — total data rate of flows currently traversing
+  each link in either direction (must stay <= ``cap_l``),
+- **placed instances** ``x_{c,v}(t)`` — which components have an instance
+  at which node, when each instance last processed a flow (for idle
+  timeout) and when it becomes ready (startup delay).
+
+Allocations are explicit records so that a flow that is dropped mid-flight
+(deadline expiry) can release everything it still holds, and so the later
+scheduled release events turn into no-ops instead of double-releasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.topology.network import Network, link_key
+
+__all__ = ["Allocation", "InstanceState", "NetworkState", "CapacityError"]
+
+
+class CapacityError(Exception):
+    """Raised when an allocation would exceed a node or link capacity."""
+
+
+@dataclass
+class Allocation:
+    """One resource hold: ``amount`` on a node or link until released.
+
+    Attributes:
+        kind: ``"node"`` or ``"link"``.
+        key: Node name, or canonical link key tuple.
+        amount: Resources (node) or data rate (link) held.
+        flow_id: Flow holding the allocation.
+        released: Set once released; further releases are no-ops.
+    """
+
+    kind: str
+    key: object
+    amount: float
+    flow_id: int
+    released: bool = False
+
+
+@dataclass
+class InstanceState:
+    """Runtime state of one component instance at one node.
+
+    Attributes:
+        node: Hosting node.
+        component: Component name.
+        ready_at: Simulation time at which the instance finished starting
+            up (flows scheduled before that wait).
+        busy_flows: Number of flows currently being processed / resident.
+        idle_since: Time the instance last became idle (None while busy).
+    """
+
+    node: str
+    component: str
+    ready_at: float
+    busy_flows: int = 0
+    idle_since: Optional[float] = None
+
+
+class NetworkState:
+    """Mutable utilisation + placement state over a fixed :class:`Network`."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._node_load: Dict[str, float] = {n: 0.0 for n in network.node_names}
+        self._link_load: Dict[Tuple[str, str], float] = {
+            link.key: 0.0 for link in network.links
+        }
+        self._instances: Dict[Tuple[str, str], InstanceState] = {}
+        #: Peak loads observed (for metrics / capacity planning output).
+        self.peak_node_load: Dict[str, float] = dict(self._node_load)
+        self.peak_link_load: Dict[Tuple[str, str], float] = dict(self._link_load)
+
+    # ------------------------------------------------------------------
+    # Load queries
+    # ------------------------------------------------------------------
+
+    def node_load(self, node: str) -> float:
+        """Current total resource consumption ``r_v(t)`` at ``node``."""
+        return self._node_load[node]
+
+    def node_free(self, node: str) -> float:
+        """Remaining compute capacity at ``node``."""
+        return self.network.node(node).capacity - self._node_load[node]
+
+    def link_load(self, u: str, v: str) -> float:
+        """Current total data rate ``r_l(t)`` on the undirected link (u, v)."""
+        return self._link_load[link_key(u, v)]
+
+    def link_free(self, u: str, v: str) -> float:
+        """Remaining data rate on the undirected link (u, v)."""
+        return self.network.link(u, v).capacity - self.link_load(u, v)
+
+    # ------------------------------------------------------------------
+    # Allocation / release
+    # ------------------------------------------------------------------
+
+    def allocate_node(self, node: str, amount: float, flow_id: int) -> Allocation:
+        """Reserve ``amount`` compute at ``node`` for ``flow_id``.
+
+        Raises :class:`CapacityError` when the node cannot hold it —
+        callers translate that into a dropped flow, matching the paper's
+        "when exceeding this capacity, flows ... are dropped".
+        """
+        if amount < 0:
+            raise ValueError(f"allocation amount must be >= 0, got {amount}")
+        capacity = self.network.node(node).capacity
+        # Small epsilon tolerates float accumulation across release/allocate
+        # cycles; a genuinely over-capacity request still fails.
+        if self._node_load[node] + amount > capacity + 1e-9:
+            raise CapacityError(
+                f"node {node}: load {self._node_load[node]:.4f} + {amount:.4f} "
+                f"exceeds capacity {capacity:.4f}"
+            )
+        self._node_load[node] += amount
+        self.peak_node_load[node] = max(self.peak_node_load[node], self._node_load[node])
+        return Allocation("node", node, amount, flow_id)
+
+    def allocate_link(self, u: str, v: str, rate: float, flow_id: int) -> Allocation:
+        """Reserve ``rate`` on link (u, v); :class:`CapacityError` if full."""
+        if rate < 0:
+            raise ValueError(f"allocation rate must be >= 0, got {rate}")
+        key = link_key(u, v)
+        capacity = self.network.link(u, v).capacity
+        if self._link_load[key] + rate > capacity + 1e-9:
+            raise CapacityError(
+                f"link {key}: load {self._link_load[key]:.4f} + {rate:.4f} "
+                f"exceeds capacity {capacity:.4f}"
+            )
+        self._link_load[key] += rate
+        self.peak_link_load[key] = max(self.peak_link_load[key], self._link_load[key])
+        return Allocation("link", key, rate, flow_id)
+
+    def release(self, allocation: Allocation) -> None:
+        """Release an allocation; idempotent (double release is a no-op)."""
+        if allocation.released:
+            return
+        allocation.released = True
+        if allocation.kind == "node":
+            self._node_load[allocation.key] -= allocation.amount
+            # Clamp float dust so long simulations cannot drift negative.
+            if -1e-9 < self._node_load[allocation.key] < 0:
+                self._node_load[allocation.key] = 0.0
+            assert self._node_load[allocation.key] >= 0, (
+                f"negative node load at {allocation.key}"
+            )
+        elif allocation.kind == "link":
+            self._link_load[allocation.key] -= allocation.amount
+            if -1e-9 < self._link_load[allocation.key] < 0:
+                self._link_load[allocation.key] = 0.0
+            assert self._link_load[allocation.key] >= 0, (
+                f"negative link load on {allocation.key}"
+            )
+        else:  # pragma: no cover - allocation kinds are fixed above
+            raise ValueError(f"unknown allocation kind {allocation.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Instances (scaling & placement state x_{c,v})
+    # ------------------------------------------------------------------
+
+    def has_instance(self, node: str, component: str) -> bool:
+        """``x_{c,v}(t)`` — is an instance of ``component`` placed at ``node``?"""
+        return (node, component) in self._instances
+
+    def instance(self, node: str, component: str) -> Optional[InstanceState]:
+        return self._instances.get((node, component))
+
+    def place_instance(self, node: str, component: str, now: float, startup_delay: float) -> InstanceState:
+        """Place a new instance (scaling out); at most one per (node, component)."""
+        key = (node, component)
+        if key in self._instances:
+            raise ValueError(f"instance of {component!r} already placed at {node!r}")
+        inst = InstanceState(node=node, component=component, ready_at=now + startup_delay,
+                             idle_since=now + startup_delay)
+        self._instances[key] = inst
+        return inst
+
+    def remove_instance(self, node: str, component: str) -> None:
+        """Remove an instance (scale-in); it must exist and be idle."""
+        inst = self._instances.get((node, component))
+        if inst is None:
+            raise KeyError(f"no instance of {component!r} at {node!r}")
+        if inst.busy_flows > 0:
+            raise ValueError(
+                f"cannot remove busy instance of {component!r} at {node!r} "
+                f"({inst.busy_flows} flows resident)"
+            )
+        del self._instances[(node, component)]
+
+    def instance_begin_flow(self, node: str, component: str) -> None:
+        """Mark one more flow resident in the instance (it is now busy)."""
+        inst = self._instances[(node, component)]
+        inst.busy_flows += 1
+        inst.idle_since = None
+
+    def instance_end_flow(self, node: str, component: str, now: float) -> None:
+        """Mark one flow as having fully left the instance."""
+        inst = self._instances.get((node, component))
+        if inst is None:
+            # The instance may already have been force-removed; tolerate.
+            return
+        inst.busy_flows -= 1
+        assert inst.busy_flows >= 0, f"negative busy count at ({node}, {component})"
+        if inst.busy_flows == 0:
+            inst.idle_since = now
+
+    @property
+    def placed_instances(self) -> List[InstanceState]:
+        """All currently placed instances."""
+        return list(self._instances.values())
+
+    def instances_at(self, node: str) -> List[InstanceState]:
+        """All instances placed at ``node``."""
+        return [inst for (n, _), inst in self._instances.items() if n == node]
+
+    # ------------------------------------------------------------------
+    # Invariant check (used by property-based tests and debug runs)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert no load is negative or above capacity.
+
+        Cheap enough to run after every event in tests; not called in the
+        hot path of production simulations.
+        """
+        for node, load in self._node_load.items():
+            capacity = self.network.node(node).capacity
+            if load < -1e-9 or load > capacity + 1e-6:
+                raise AssertionError(
+                    f"node {node}: load {load} outside [0, {capacity}]"
+                )
+        for key, load in self._link_load.items():
+            capacity = self.network.link(*key).capacity
+            if load < -1e-9 or load > capacity + 1e-6:
+                raise AssertionError(
+                    f"link {key}: load {load} outside [0, {capacity}]"
+                )
+        for (node, comp), inst in self._instances.items():
+            if inst.busy_flows < 0:
+                raise AssertionError(f"instance ({node},{comp}): negative busy count")

@@ -1,0 +1,144 @@
+"""Per-flow event tracing for debugging coordination behaviour.
+
+Wrap any coordination policy in a :class:`TracingPolicy` to record, per
+flow, the sequence of (time, node, requested component, action) decisions
+plus the flow's final outcome.  Essential when diagnosing *why* an
+algorithm drops flows: the rendered trace shows the exact path and the
+decision that killed it.
+
+    tracer = TracingPolicy(my_policy)
+    sim.run(tracer)
+    for trace in tracer.dropped_traces():
+        print(tracer.render_flow(trace.flow_id))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.simulator import DecisionPoint, Simulator
+from repro.traffic.flows import Flow, FlowStatus
+
+__all__ = ["DecisionRecord", "FlowTrace", "TracingPolicy"]
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One decision taken for one flow."""
+
+    time: float
+    node: str
+    component_index: Optional[int]
+    action: int
+    remaining_deadline: float
+
+
+@dataclass
+class FlowTrace:
+    """All recorded decisions of one flow.
+
+    Holds a reference to the live :class:`~repro.traffic.flows.Flow`, so
+    the final status / drop reason / delay are always current — no
+    explicit finalisation step needed.
+    """
+
+    flow: Flow
+    decisions: List[DecisionRecord] = field(default_factory=list)
+
+    @property
+    def flow_id(self) -> int:
+        return self.flow.flow_id
+
+    @property
+    def final_status(self) -> str:
+        return self.flow.status.value
+
+    @property
+    def drop_reason(self) -> Optional[str]:
+        return self.flow.drop_reason
+
+    @property
+    def path(self) -> List[str]:
+        """Distinct node sequence the flow's decisions visited."""
+        nodes: List[str] = []
+        for record in self.decisions:
+            if not nodes or nodes[-1] != record.node:
+                nodes.append(record.node)
+        return nodes
+
+
+class TracingPolicy:
+    """Transparent tracing wrapper around any coordination policy.
+
+    Args:
+        inner: The policy actually making decisions.
+        max_flows: Stop recording *new* flows beyond this many (memory
+            guard for long runs); decisions of already-traced flows are
+            always recorded.
+    """
+
+    def __init__(self, inner: Callable[[DecisionPoint, Simulator], int],
+                 max_flows: int = 10000) -> None:
+        self.inner = inner
+        self.max_flows = max_flows
+        self.traces: Dict[int, FlowTrace] = {}
+
+    def __call__(self, decision: DecisionPoint, sim: Simulator) -> int:
+        action = self.inner(decision, sim)
+        flow = decision.flow
+        trace = self.traces.get(flow.flow_id)
+        if trace is None and len(self.traces) < self.max_flows:
+            trace = FlowTrace(flow=flow)
+            self.traces[flow.flow_id] = trace
+        if trace is not None:
+            trace.decisions.append(
+                DecisionRecord(
+                    time=decision.time,
+                    node=decision.node,
+                    component_index=flow.component_index,
+                    action=action,
+                    remaining_deadline=flow.remaining_time(decision.time),
+                )
+            )
+        return action
+
+    # ------------------------------------------------------------------
+
+    def dropped_traces(self) -> List[FlowTrace]:
+        """Traces of flows that ended dropped, in flow-id order."""
+        return [
+            t for _, t in sorted(self.traces.items())
+            if t.flow.status is FlowStatus.DROPPED
+        ]
+
+    def succeeded_traces(self) -> List[FlowTrace]:
+        """Traces of flows that completed successfully."""
+        return [
+            t for _, t in sorted(self.traces.items())
+            if t.flow.status is FlowStatus.SUCCEEDED
+        ]
+
+    def render_flow(self, flow_id: int) -> str:
+        """Human-readable decision log of one flow."""
+        trace = self.traces.get(flow_id)
+        if trace is None:
+            return f"flow {flow_id}: not traced"
+        flow = trace.flow
+        lines = [
+            f"flow {flow.flow_id} ({flow.service}) "
+            f"{flow.spec.ingress} -> {flow.egress}"
+        ]
+        for r in trace.decisions:
+            component = "done" if r.component_index is None else f"c[{r.component_index}]"
+            what = "process/keep" if r.action == 0 else f"forward#{r.action}"
+            lines.append(
+                f"  t={r.time:8.2f}  at {r.node:<6} {component:<6} {what:<12} "
+                f"(deadline left {r.remaining_deadline:6.2f})"
+            )
+        if flow.status is not FlowStatus.ACTIVE:
+            suffix = f" ({flow.drop_reason})" if flow.drop_reason else ""
+            delay = flow.end_to_end_delay()
+            delay_text = f", e2e {delay:.2f}" if delay is not None else ""
+            lines.append(f"  => {flow.status.value}{suffix}{delay_text}")
+        return "\n".join(lines)

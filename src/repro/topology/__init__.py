@@ -1,0 +1,49 @@
+"""Substrate network topologies: graph model, real-world zoo, generators."""
+
+from repro.topology.network import (
+    Link,
+    Network,
+    Node,
+    TopologyStats,
+    euclidean_delay,
+    link_key,
+)
+from repro.topology.zoo import (
+    TOPOLOGY_NAMES,
+    abilene,
+    bt_europe,
+    china_telecom,
+    interroute,
+    table1_stats,
+    topology_by_name,
+)
+from repro.topology.generators import (
+    grid_network,
+    line_network,
+    random_geometric_network,
+    ring_network,
+    star_network,
+    triangle_network,
+)
+
+__all__ = [
+    "Link",
+    "Network",
+    "Node",
+    "TopologyStats",
+    "euclidean_delay",
+    "link_key",
+    "TOPOLOGY_NAMES",
+    "abilene",
+    "bt_europe",
+    "china_telecom",
+    "interroute",
+    "table1_stats",
+    "topology_by_name",
+    "grid_network",
+    "line_network",
+    "random_geometric_network",
+    "ring_network",
+    "star_network",
+    "triangle_network",
+]

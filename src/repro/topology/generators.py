@@ -1,0 +1,233 @@
+"""Synthetic topology generators for tests, examples, and ablations.
+
+These generators produce small, fully controlled networks.  They complement
+:mod:`repro.topology.zoo` (the paper's real-world topologies) and are used
+heavily by the unit and property-based test suites where a predictable
+structure matters more than realism.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.topology.network import Link, Network, Node
+
+__all__ = [
+    "line_network",
+    "ring_network",
+    "star_network",
+    "grid_network",
+    "triangle_network",
+    "random_geometric_network",
+]
+
+
+def _names(n: int) -> List[str]:
+    return [f"v{i + 1}" for i in range(n)]
+
+
+def line_network(
+    num_nodes: int,
+    node_capacity: float = 1.0,
+    link_capacity: float = 1.0,
+    link_delay: float = 1.0,
+) -> Network:
+    """A path graph ``v1 - v2 - ... - vn`` with ingress v1 and egress vn.
+
+    The simplest possible substrate: every flow has exactly one sensible
+    route, which makes expected simulator behaviour easy to compute by hand
+    in tests.
+    """
+    if num_nodes < 2:
+        raise ValueError("line network needs at least 2 nodes")
+    names = _names(num_nodes)
+    nodes = [Node(n, capacity=node_capacity) for n in names]
+    links = [
+        Link(names[i], names[i + 1], delay=link_delay, capacity=link_capacity)
+        for i in range(num_nodes - 1)
+    ]
+    return Network(
+        f"line-{num_nodes}", nodes, links, ingress=[names[0]], egress=[names[-1]]
+    )
+
+
+def ring_network(
+    num_nodes: int,
+    node_capacity: float = 1.0,
+    link_capacity: float = 1.0,
+    link_delay: float = 1.0,
+) -> Network:
+    """A cycle ``v1 - v2 - ... - vn - v1``; two disjoint routes everywhere.
+
+    Useful for testing load balancing: the clockwise and counter-clockwise
+    paths compete, so an algorithm that can split traffic wins.
+    """
+    if num_nodes < 3:
+        raise ValueError("ring network needs at least 3 nodes")
+    names = _names(num_nodes)
+    nodes = [Node(n, capacity=node_capacity) for n in names]
+    links = [
+        Link(names[i], names[(i + 1) % num_nodes], delay=link_delay, capacity=link_capacity)
+        for i in range(num_nodes)
+    ]
+    return Network(
+        f"ring-{num_nodes}", nodes, links,
+        ingress=[names[0]], egress=[names[num_nodes // 2]],
+    )
+
+
+def star_network(
+    num_leaves: int,
+    node_capacity: float = 1.0,
+    link_capacity: float = 1.0,
+    link_delay: float = 1.0,
+) -> Network:
+    """A hub ``v1`` connected to ``num_leaves`` leaves.
+
+    Maximally skewed degree distribution (hub degree = num_leaves, leaves
+    degree 1) — a miniature of the China Telecom skew that stresses the
+    observation padding.
+    """
+    if num_leaves < 2:
+        raise ValueError("star network needs at least 2 leaves")
+    names = _names(num_leaves + 1)
+    nodes = [Node(n, capacity=node_capacity) for n in names]
+    links = [
+        Link(names[0], leaf, delay=link_delay, capacity=link_capacity)
+        for leaf in names[1:]
+    ]
+    return Network(
+        f"star-{num_leaves}", nodes, links, ingress=[names[1]], egress=[names[-1]]
+    )
+
+
+def triangle_network(
+    node_capacity: float = 1.0,
+    link_capacity: float = 1.0,
+    link_delay: float = 1.0,
+) -> Network:
+    """The 3-node complete graph — the smallest network with a routing choice."""
+    names = _names(3)
+    nodes = [Node(n, capacity=node_capacity) for n in names]
+    links = [
+        Link(names[0], names[1], delay=link_delay, capacity=link_capacity),
+        Link(names[1], names[2], delay=link_delay, capacity=link_capacity),
+        Link(names[0], names[2], delay=link_delay, capacity=link_capacity),
+    ]
+    return Network("triangle", nodes, links, ingress=[names[0]], egress=[names[2]])
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    node_capacity: float = 1.0,
+    link_capacity: float = 1.0,
+    link_delay: float = 1.0,
+) -> Network:
+    """A ``rows x cols`` 4-neighbor mesh; many equal-length path choices."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("grid needs at least 2 nodes")
+    nodes = []
+    links = []
+
+    def name(r: int, c: int) -> str:
+        return f"v{r * cols + c + 1}"
+
+    for r in range(rows):
+        for c in range(cols):
+            nodes.append(Node(name(r, c), capacity=node_capacity, position=(float(c), float(r))))
+            if c + 1 < cols:
+                links.append(Link(name(r, c), name(r, c + 1), delay=link_delay, capacity=link_capacity))
+            if r + 1 < rows:
+                links.append(Link(name(r, c), name(r + 1, c), delay=link_delay, capacity=link_capacity))
+    return Network(
+        f"grid-{rows}x{cols}", nodes, links,
+        ingress=[name(0, 0)], egress=[name(rows - 1, cols - 1)],
+    )
+
+
+def random_geometric_network(
+    num_nodes: int,
+    radius: float = 35.0,
+    seed: int = 0,
+    node_capacity_range: Sequence[float] = (0.0, 2.0),
+    link_capacity_range: Sequence[float] = (1.0, 5.0),
+    delay_per_unit: float = 0.05,
+    ingress: Optional[Sequence[str]] = None,
+    egress: Optional[Sequence[str]] = None,
+) -> Network:
+    """A connected random geometric graph on a 100x100 plane.
+
+    Nodes are placed uniformly at random; any pair within ``radius`` is
+    linked.  If the result is disconnected, each stranded component is
+    attached to its geometrically nearest outside node, so the function
+    always returns a connected network.  Capacities follow the paper's base
+    scenario distributions by default (node capacity U[0,2], link capacity
+    U[1,5]).
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    rng = random.Random(seed)
+    names = _names(num_nodes)
+    positions = {n: (rng.uniform(0, 100), rng.uniform(0, 100)) for n in names}
+
+    def dist(u: str, v: str) -> float:
+        (x1, y1), (x2, y2) = positions[u], positions[v]
+        return ((x1 - x2) ** 2 + (y1 - y2) ** 2) ** 0.5
+
+    edges = set()
+    for i, u in enumerate(names):
+        for v in names[i + 1:]:
+            if dist(u, v) <= radius:
+                edges.add((u, v) if u <= v else (v, u))
+
+    # Connect stranded components through their nearest cross-component pair.
+    parent = {n: n for n in names}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        parent[find(a)] = find(b)
+
+    for u, v in edges:
+        union(u, v)
+    while len({find(n) for n in names}) > 1:
+        roots: dict = {}
+        for n in names:
+            roots.setdefault(find(n), []).append(n)
+        components = list(roots.values())
+        best = None
+        for u in components[0]:
+            for comp in components[1:]:
+                for v in comp:
+                    d = dist(u, v)
+                    if best is None or d < best[0]:
+                        best = (d, u, v)
+        assert best is not None
+        _, u, v = best
+        edges.add((u, v) if u <= v else (v, u))
+        union(u, v)
+
+    lo_n, hi_n = node_capacity_range
+    lo_l, hi_l = link_capacity_range
+    nodes = [
+        Node(n, capacity=rng.uniform(lo_n, hi_n), position=positions[n]) for n in names
+    ]
+    links = [
+        Link(
+            u, v,
+            delay=max(0.5, dist(u, v) * delay_per_unit),
+            capacity=rng.uniform(lo_l, hi_l),
+        )
+        for u, v in sorted(edges)
+    ]
+    return Network(
+        f"geometric-{num_nodes}", nodes, links,
+        ingress=list(ingress) if ingress else [names[0]],
+        egress=list(egress) if egress else [names[-1]],
+    )

@@ -1,0 +1,111 @@
+"""Shared fixtures and scenario builders for the test suite."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+import pytest
+
+from repro.core.env import CoordinationEnvConfig
+from repro.services import Component, Service, ServiceCatalog, default_catalog
+from repro.sim import SimulationConfig, Simulator
+from repro.topology import Link, Network, Node, line_network, triangle_network
+from repro.traffic import FixedArrival, FlowSpec, FlowTemplate, TrafficSource
+
+
+def make_simple_catalog(
+    num_components: int = 1,
+    processing_delay: float = 2.0,
+    startup_delay: float = 0.0,
+    idle_timeout: float = 50.0,
+    resource_coefficient: float = 1.0,
+) -> ServiceCatalog:
+    """A catalog with one service of ``num_components`` identical components."""
+    components = [
+        Component(
+            f"c{i + 1}",
+            processing_delay=processing_delay,
+            startup_delay=startup_delay,
+            idle_timeout=idle_timeout,
+            resource_coefficient=resource_coefficient,
+        )
+        for i in range(num_components)
+    ]
+    return ServiceCatalog([Service("svc", components)])
+
+
+def make_flow_specs(
+    times: Iterable[float],
+    ingress: str = "v1",
+    egress: str = "v3",
+    service: str = "svc",
+    deadline: float = 100.0,
+    data_rate: float = 1.0,
+    duration: float = 1.0,
+) -> List[FlowSpec]:
+    """Hand-scheduled flows at explicit arrival times."""
+    return [
+        FlowSpec(
+            service=service,
+            ingress=ingress,
+            egress=egress,
+            data_rate=data_rate,
+            arrival_time=t,
+            duration=duration,
+            deadline=deadline,
+        )
+        for t in times
+    ]
+
+
+def make_simulator(
+    network: Network,
+    catalog: ServiceCatalog,
+    flows: Iterable[FlowSpec],
+    horizon: float = 200.0,
+    **config_kwargs,
+) -> Simulator:
+    """Simulator with invariant checking on (tests always verify state)."""
+    config = SimulationConfig(horizon=horizon, check_invariants=True, **config_kwargs)
+    return Simulator(network, catalog, list(flows), config)
+
+
+@pytest.fixture
+def line3() -> Network:
+    """v1 - v2 - v3 with generous capacities; ingress v1, egress v3."""
+    return line_network(3, node_capacity=10.0, link_capacity=10.0, link_delay=1.0)
+
+
+@pytest.fixture
+def triangle() -> Network:
+    return triangle_network(node_capacity=10.0, link_capacity=10.0, link_delay=1.0)
+
+
+@pytest.fixture
+def simple_catalog() -> ServiceCatalog:
+    return make_simple_catalog()
+
+
+def make_env_config(
+    network: Network,
+    catalog: ServiceCatalog,
+    horizon: float = 200.0,
+    interval: float = 10.0,
+    deadline: float = 100.0,
+) -> CoordinationEnvConfig:
+    """Env config with deterministic fixed-interval traffic on all ingresses."""
+    service = catalog.services[0].name
+    egress = network.egress[0]
+
+    def traffic_factory(rng: np.random.Generator):
+        processes = {ing: FixedArrival(interval) for ing in network.ingress}
+        template = FlowTemplate(service=service, egress=egress, deadline=deadline)
+        return TrafficSource(processes, template).flows_until(horizon)
+
+    return CoordinationEnvConfig(
+        network=network,
+        catalog=catalog,
+        traffic_factory=traffic_factory,
+        sim_config=SimulationConfig(horizon=horizon, check_invariants=True),
+    )

@@ -1,0 +1,57 @@
+"""Tests for the action adapter (Sec. IV-B2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.actions import ACTION_PROCESS_LOCALLY, ActionAdapter
+from repro.topology import line_network, star_network
+
+
+class TestActionAdapter:
+    def test_space_size_is_degree_plus_one(self):
+        adapter = ActionAdapter(star_network(5))
+        assert adapter.num_actions == 6
+        assert adapter.space.n == 6
+
+    def test_validity_at_leaf(self):
+        adapter = ActionAdapter(star_network(4))
+        # Leaf v2 has one neighbor; actions 2..4 point at dummies.
+        assert adapter.is_valid("v2", 0)
+        assert adapter.is_valid("v2", 1)
+        assert not adapter.is_valid("v2", 2)
+        assert not adapter.is_valid("v2", 4)
+        assert not adapter.is_valid("v2", 5)  # outside the space entirely
+
+    def test_validity_at_hub(self):
+        adapter = ActionAdapter(star_network(4))
+        assert all(adapter.is_valid("v1", a) for a in range(5))
+
+    def test_valid_action_mask(self):
+        adapter = ActionAdapter(star_network(3))
+        mask = adapter.valid_action_mask("v2")
+        assert mask.tolist() == [True, True, False, False]
+        assert adapter.valid_action_mask("v1").all()
+
+    def test_target_of(self):
+        net = line_network(3)
+        adapter = ActionAdapter(net)
+        assert adapter.target_of("v2", ACTION_PROCESS_LOCALLY) == "v2"
+        # v2's sorted neighbors: [v1, v3].
+        assert adapter.target_of("v2", 1) == "v1"
+        assert adapter.target_of("v2", 2) == "v3"
+        with pytest.raises(ValueError, match="dummy"):
+            adapter.target_of("v1", 2)
+
+    def test_action_for_target_inverse(self):
+        net = line_network(4)
+        adapter = ActionAdapter(net)
+        for node in net.node_names:
+            assert adapter.action_for_target(node, node) == 0
+            for neighbor in net.neighbors(node):
+                action = adapter.action_for_target(node, neighbor)
+                assert adapter.target_of(node, action) == neighbor
+
+    def test_action_for_non_neighbor_rejected(self):
+        adapter = ActionAdapter(line_network(4))
+        with pytest.raises(ValueError, match="not a neighbor"):
+            adapter.action_for_target("v1", "v4")

@@ -1,0 +1,105 @@
+"""Tests for distributed inference (per-node agents)."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import DistributedCoordinator, NodeAgent
+from repro.core.observations import ObservationAdapter
+from repro.rl.policy import ActorCriticPolicy
+from repro.topology import line_network
+
+from tests.conftest import make_env_config, make_flow_specs, make_simple_catalog, make_simulator
+
+
+def setup():
+    net = line_network(3, node_capacity=10.0, link_capacity=10.0)
+    catalog = make_simple_catalog()
+    adapter = ObservationAdapter(net, catalog)
+    policy = ActorCriticPolicy(adapter.size, net.degree + 1, hidden=(8,), rng=0)
+    return net, catalog, adapter, policy
+
+
+class TestNodeAgent:
+    def test_acts_only_for_its_node(self):
+        net, catalog, adapter, policy = setup()
+        agent = NodeAgent("v2", policy, adapter)
+        sim = make_simulator(net, catalog, make_flow_specs([1.0]))
+        decision = sim.next_decision()  # at v1
+        with pytest.raises(ValueError, match="asked to act"):
+            agent.act(decision, sim)
+
+    def test_counts_decisions(self):
+        net, catalog, adapter, policy = setup()
+        agent = NodeAgent("v1", policy, adapter)
+        sim = make_simulator(net, catalog, make_flow_specs([1.0]))
+        decision = sim.next_decision()
+        action = agent.act(decision, sim)
+        assert 0 <= action <= net.degree
+        assert agent.decisions_taken == 1
+
+
+class TestDistributedCoordinator:
+    def test_one_agent_per_node(self):
+        net, catalog, adapter, policy = setup()
+        coordinator = DistributedCoordinator(net, catalog, policy)
+        assert set(coordinator.agents) == set(net.node_names)
+
+    def test_agents_hold_independent_copies(self):
+        """Each node gets its own *copy* of the network (Fig. 4b)."""
+        net, catalog, adapter, policy = setup()
+        coordinator = DistributedCoordinator(net, catalog, policy)
+        policies = [agent.policy for agent in coordinator.agents.values()]
+        assert len({id(p) for p in policies}) == len(policies)
+        # ... with identical weights.
+        obs = np.zeros((1, adapter.size))
+        outputs = [p.actor.forward(obs) for p in policies]
+        assert all(np.allclose(outputs[0], o) for o in outputs)
+
+    def test_usable_as_simulator_policy(self):
+        net, catalog, adapter, policy = setup()
+        coordinator = DistributedCoordinator(net, catalog, policy)
+        sim = make_simulator(net, catalog, make_flow_specs([1.0, 11.0]), horizon=50.0)
+        metrics = sim.run(coordinator)
+        assert metrics.flows_generated == 2
+        counts = coordinator.decision_counts()
+        assert sum(counts.values()) == metrics.decisions
+
+    def test_obs_size_mismatch_rejected(self):
+        net, catalog, adapter, _ = setup()
+        wrong = ActorCriticPolicy(99, net.degree + 1, hidden=(8,), rng=0)
+        with pytest.raises(ValueError, match="observations of size"):
+            DistributedCoordinator(net, catalog, wrong)
+
+    def test_fresh_resets_counters_keeps_weights(self):
+        net, catalog, adapter, policy = setup()
+        coordinator = DistributedCoordinator(net, catalog, policy)
+        sim = make_simulator(net, catalog, make_flow_specs([1.0]))
+        sim.run(coordinator)
+        assert sum(coordinator.decision_counts().values()) > 0
+        fresh = coordinator.fresh()
+        assert sum(fresh.decision_counts().values()) == 0
+        obs = np.zeros((1, adapter.size))
+        original = next(iter(coordinator.agents.values())).policy
+        copied = next(iter(fresh.agents.values())).policy
+        assert np.allclose(original.actor.forward(obs), copied.actor.forward(obs))
+
+    def test_deterministic_agents_repeatable(self):
+        net, catalog, adapter, policy = setup()
+        a = DistributedCoordinator(net, catalog, policy, deterministic=True)
+        b = DistributedCoordinator(net, catalog, policy, deterministic=True)
+        sim_a = make_simulator(net, catalog, make_flow_specs([1.0, 5.0]))
+        sim_b = make_simulator(net, catalog, make_flow_specs([1.0, 5.0]))
+        assert sim_a.run(a).success_ratio == sim_b.run(b).success_ratio
+
+    def test_deployable_on_same_degree_network(self):
+        """The trained policy transfers to any network with equal Δ_G —
+        the generalization mechanism of Fig. 8."""
+        net, catalog, adapter, policy = setup()
+        bigger = line_network(10, node_capacity=10.0, link_capacity=10.0)
+        coordinator = DistributedCoordinator(bigger, catalog, policy)
+        sim = make_simulator(
+            bigger, catalog,
+            make_flow_specs([1.0], ingress="v1", egress="v10", deadline=200.0),
+        )
+        metrics = sim.run(coordinator)
+        assert metrics.flows_generated == 1

@@ -1,0 +1,99 @@
+"""Tests for the shaped reward function (Sec. IV-B3)."""
+
+import pytest
+
+from repro.core.rewards import RewardConfig, RewardFunction
+from repro.sim.simulator import Outcome, OutcomeKind
+from repro.topology import line_network
+
+
+def outcome(kind, **kwargs):
+    return Outcome(kind=kind, time=0.0, flow_id=1, **kwargs)
+
+
+@pytest.fixture
+def reward_fn():
+    # line-4 diameter = 3 link delays of 1.0 each.
+    return RewardFunction(line_network(4), RewardConfig())
+
+
+class TestPaperValues:
+    def test_success_is_plus_ten(self, reward_fn):
+        assert reward_fn.outcome_reward(outcome(OutcomeKind.FLOW_SUCCESS)) == 10.0
+
+    def test_drop_is_minus_ten(self, reward_fn):
+        assert reward_fn.outcome_reward(
+            outcome(OutcomeKind.FLOW_DROP, drop_reason="x")
+        ) == -10.0
+
+    def test_instance_bonus_scales_with_chain_length(self, reward_fn):
+        assert reward_fn.outcome_reward(
+            outcome(OutcomeKind.INSTANCE_TRAVERSED, chain_length=4)
+        ) == pytest.approx(0.25)
+        assert reward_fn.outcome_reward(
+            outcome(OutcomeKind.INSTANCE_TRAVERSED, chain_length=1)
+        ) == pytest.approx(1.0)
+
+    def test_link_penalty_is_delay_over_diameter(self, reward_fn):
+        assert reward_fn.outcome_reward(
+            outcome(OutcomeKind.LINK_TRAVERSED, link_delay=1.5)
+        ) == pytest.approx(-1.5 / 3.0)
+
+    def test_keep_penalty_is_one_over_diameter(self, reward_fn):
+        assert reward_fn.outcome_reward(
+            outcome(OutcomeKind.FLOW_KEPT)
+        ) == pytest.approx(-1.0 / 3.0)
+
+    def test_total_sums_outcomes(self, reward_fn):
+        outcomes = [
+            outcome(OutcomeKind.INSTANCE_TRAVERSED, chain_length=2),
+            outcome(OutcomeKind.LINK_TRAVERSED, link_delay=3.0),
+            outcome(OutcomeKind.FLOW_SUCCESS),
+        ]
+        assert reward_fn.total(outcomes) == pytest.approx(0.5 - 1.0 + 10.0)
+
+
+class TestShapingToggle:
+    def test_shaping_off_keeps_terminal_rewards(self):
+        fn = RewardFunction(line_network(4), RewardConfig(enable_shaping=False))
+        assert fn.outcome_reward(outcome(OutcomeKind.FLOW_SUCCESS)) == 10.0
+        assert fn.outcome_reward(
+            outcome(OutcomeKind.FLOW_DROP, drop_reason="x")
+        ) == -10.0
+        for kind, kwargs in (
+            (OutcomeKind.INSTANCE_TRAVERSED, {"chain_length": 2}),
+            (OutcomeKind.LINK_TRAVERSED, {"link_delay": 1.0}),
+            (OutcomeKind.FLOW_KEPT, {}),
+        ):
+            assert fn.outcome_reward(outcome(kind, **kwargs)) == 0.0
+
+
+class TestShapingGuard:
+    def test_too_strong_instance_bonus_rejected(self):
+        with pytest.raises(ValueError, match="weak signal"):
+            RewardFunction(
+                line_network(4),
+                RewardConfig(instance_bonus_scale=6.0),
+            )
+
+    def test_too_strong_link_penalty_rejected(self):
+        with pytest.raises(ValueError, match="link penalty"):
+            RewardFunction(line_network(4), RewardConfig(link_penalty_scale=6.0))
+
+    def test_guard_skipped_when_shaping_off(self):
+        RewardFunction(
+            line_network(4),
+            RewardConfig(enable_shaping=False, instance_bonus_scale=100.0),
+        )
+
+    def test_custom_scales_applied(self):
+        fn = RewardFunction(
+            line_network(4),
+            RewardConfig(instance_bonus_scale=2.0, link_penalty_scale=0.5),
+        )
+        assert fn.outcome_reward(
+            outcome(OutcomeKind.INSTANCE_TRAVERSED, chain_length=2)
+        ) == pytest.approx(1.0)
+        assert fn.outcome_reward(
+            outcome(OutcomeKind.LINK_TRAVERSED, link_delay=3.0)
+        ) == pytest.approx(-0.5)

@@ -1,0 +1,124 @@
+"""Tests for the experiment runner (with tiny training budgets)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.eval.runner import (
+    ALL_ALGORITHMS,
+    DISTRIBUTED_DRL,
+    GCASP,
+    SP,
+    AlgorithmResult,
+    SuiteConfig,
+    build_algorithm_suite,
+    evaluate_policy_on_scenario,
+)
+from repro.eval.scenarios import base_scenario
+from repro.baselines.shortest_path import ShortestPathPolicy
+
+
+TINY = SuiteConfig(
+    train_seeds=(0,),
+    train_updates=3,
+    central_train_updates=3,
+    eval_seeds=(0, 1),
+    n_envs=2,
+    n_steps=8,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return base_scenario(pattern="poisson", num_ingress=1, horizon=300.0)
+
+
+@pytest.fixture(scope="module")
+def suite(scenario):
+    return build_algorithm_suite(scenario, TINY)
+
+
+class TestAlgorithmResult:
+    def test_aggregates(self):
+        result = AlgorithmResult(
+            name="x",
+            success_ratios=[0.5, 0.7],
+            avg_delays=[20.0, float("nan")],
+            mean_decision_seconds=[0.001, 0.003],
+        )
+        assert result.mean_success == pytest.approx(0.6)
+        assert result.std_success == pytest.approx(0.1)
+        assert result.mean_delay == pytest.approx(20.0)  # NaN ignored
+        assert result.mean_decision_ms == pytest.approx(2.0)
+        assert "x" in result.summary()
+
+    def test_empty(self):
+        result = AlgorithmResult(name="x")
+        assert result.mean_success == 0.0
+        assert math.isnan(result.mean_delay)
+        assert math.isnan(result.mean_decision_ms)
+
+
+class TestEvaluatePolicy:
+    def test_runs_per_seed(self, scenario):
+        result = evaluate_policy_on_scenario(
+            scenario,
+            lambda: ShortestPathPolicy(scenario.network, scenario.catalog),
+            "SP",
+            eval_seeds=(0, 1, 2),
+        )
+        assert len(result.success_ratios) == 3
+        assert all(0.0 <= r <= 1.0 for r in result.success_ratios)
+
+    def test_timing_collected_when_requested(self, scenario):
+        result = evaluate_policy_on_scenario(
+            scenario,
+            lambda: ShortestPathPolicy(scenario.network, scenario.catalog),
+            "SP",
+            eval_seeds=(0,),
+            time_decisions=True,
+        )
+        assert len(result.mean_decision_seconds) == 1
+        assert result.mean_decision_seconds[0] > 0
+
+    def test_same_seed_same_traffic(self, scenario):
+        a = evaluate_policy_on_scenario(
+            scenario,
+            lambda: ShortestPathPolicy(scenario.network, scenario.catalog),
+            "SP", eval_seeds=(7,),
+        )
+        b = evaluate_policy_on_scenario(
+            scenario,
+            lambda: ShortestPathPolicy(scenario.network, scenario.catalog),
+            "SP", eval_seeds=(7,),
+        )
+        assert a.success_ratios == b.success_ratios
+
+
+class TestSuite:
+    def test_builds_all_four_algorithms(self, suite):
+        assert set(suite.factories) == set(ALL_ALGORITHMS)
+        assert suite.coordinator is not None
+        assert suite.central is not None
+
+    def test_compare_returns_results(self, suite):
+        results = suite.compare(eval_seeds=(5,), algorithms=(SP, GCASP))
+        assert set(results) == {SP, GCASP}
+        assert all(isinstance(r, AlgorithmResult) for r in results.values())
+
+    def test_factories_for_other_scenario_redeploys(self, suite, scenario):
+        other = base_scenario(pattern="fixed", num_ingress=2, horizon=300.0)
+        factories = suite.factories_for(other)
+        assert set(factories) == set(ALL_ALGORITHMS)
+        # The redeployed distributed DRL runs on the new scenario.
+        drl = factories[DISTRIBUTED_DRL]()
+        assert drl.network.ingress == other.network.ingress
+
+    def test_factories_for_same_scenario_is_identity(self, suite, scenario):
+        assert suite.factories_for(suite.env_config) is suite.factories
+
+    def test_subset_include(self, scenario):
+        partial = build_algorithm_suite(scenario, TINY, include=(SP, GCASP))
+        assert set(partial.factories) == {SP, GCASP}
+        assert partial.coordinator is None

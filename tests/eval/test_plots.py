@@ -1,0 +1,57 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.eval.plots import ascii_chart, chart_sweep
+from repro.eval.tables import SweepTable
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            {"DRL": [1.0, 0.8, 0.6], "SP": [0.9, 0.4, 0.1]},
+            x_labels=[1, 2, 3],
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o=DRL" in chart
+        assert "x=SP" in chart
+        assert "1.00" in chart and "0.00" in chart
+
+    def test_marks_placed_high_and_low(self):
+        chart = ascii_chart({"a": [1.0, 0.0]}, x_labels=["L", "R"], height=5)
+        lines = chart.splitlines()
+        plot_lines = [l for l in lines if "|" in l]
+        # The 1.0 point sits on the top plot row, the 0.0 on the bottom.
+        assert "o" in plot_lines[0]
+        assert "o" in plot_lines[-1]
+
+    def test_values_clamped_to_range(self):
+        chart = ascii_chart({"a": [5.0, -2.0]}, x_labels=[1, 2],
+                            y_min=0.0, y_max=1.0)
+        assert chart  # no exception; clamped rendering
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ascii_chart({}, x_labels=[1])
+        with pytest.raises(ValueError, match="match"):
+            ascii_chart({"a": [1.0]}, x_labels=[1, 2])
+        with pytest.raises(ValueError, match="height"):
+            ascii_chart({"a": [1.0]}, x_labels=[1], height=1)
+
+    def test_x_labels_rendered(self):
+        chart = ascii_chart({"a": [0.5, 0.5]}, x_labels=["left", "right"])
+        assert "left" in chart
+        assert "righ" in chart  # possibly truncated to the column width
+
+
+class TestChartSweep:
+    def test_renders_table_series(self):
+        table = SweepTable("Fig demo", "#ingress", [1, 3, 5])
+        for value in (1.0, 0.7, 0.5):
+            table.add("DRL", value)
+        for value in (0.9, 0.3, 0.0):
+            table.add("SP", value)
+        chart = chart_sweep(table)
+        assert "Fig demo" in chart
+        assert "o=DRL" in chart and "x=SP" in chart

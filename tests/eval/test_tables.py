@@ -1,0 +1,57 @@
+"""Tests for result table rendering."""
+
+import pytest
+
+from repro.eval.runner import AlgorithmResult
+from repro.eval.tables import SweepTable, render_table1
+from repro.topology.zoo import table1_stats
+
+
+class TestSweepTable:
+    def make(self):
+        table = SweepTable("Demo", "#ingress", [1, 2, 3])
+        table.add("DRL", 1.0, 0.0)
+        table.add("DRL", 0.9, 0.05)
+        table.add("DRL", 0.8, 0.1)
+        table.add("SP", 0.9, 0.0)
+        table.add("SP", 0.5, 0.1)
+        table.add("SP", 0.2, 0.05)
+        return table
+
+    def test_series(self):
+        table = self.make()
+        assert table.series("DRL") == [1.0, 0.9, 0.8]
+        assert table.series("SP") == [0.9, 0.5, 0.2]
+
+    def test_render_contains_all_cells(self):
+        rendered = self.make().render()
+        assert "Demo" in rendered
+        assert "#ingress" in rendered
+        assert "1.000±0.000" in rendered
+        assert "0.200±0.050" in rendered
+        lines = rendered.splitlines()
+        assert len(lines) == 1 + 1 + 1 + 2  # title, header, rule, 2 rows
+
+    def test_custom_cell_format(self):
+        rendered = self.make().render(cell_format="{mean:.1f}")
+        assert "1.0" in rendered
+        assert "±" not in rendered
+
+    def test_add_result(self):
+        table = SweepTable("t", "p", [1])
+        table.add_result(AlgorithmResult(name="A", success_ratios=[0.4, 0.6]))
+        assert table.series("A") == [pytest.approx(0.5)]
+
+    def test_columns_aligned(self):
+        lines = self.make().render().splitlines()
+        header, rows = lines[1], lines[3:]
+        assert all(len(r) <= len(header) + 20 for r in rows)
+
+
+class TestTable1Render:
+    def test_matches_paper_layout(self):
+        rendered = render_table1(table1_stats())
+        assert "Degree (Min./Max./Avg.)" in rendered
+        assert "Abilene" in rendered
+        assert "2 / 3 / 2.55" in rendered
+        assert "1 / 20 / 3.14" in rendered

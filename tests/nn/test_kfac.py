@@ -1,0 +1,103 @@
+"""Tests for the K-FAC natural-gradient optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.nn.kfac import KFAC
+from repro.nn.mlp import MLP
+
+
+def fit_step(mlp, kfac, x, target):
+    """One K-FAC update on a regression loss; returns the loss before."""
+    out = mlp.forward(x)
+    loss = float(0.5 * np.mean((out - target) ** 2))
+    # Fisher pass (Gaussian model: unit-variance noise around the output).
+    rng = np.random.default_rng(0)
+    mlp.backward(rng.normal(size=out.shape))
+    kfac.update_stats()
+    # Loss pass.
+    mlp.backward((out - target) / x.shape[0])
+    kfac.step(mlp.gradients)
+    return loss
+
+
+class TestKFACMechanics:
+    def test_update_stats_requires_passes(self):
+        mlp = MLP(3, [4], 2, rng=0)
+        kfac = KFAC(mlp)
+        with pytest.raises(RuntimeError, match="forward"):
+            kfac.update_stats()
+
+    def test_step_checks_gradient_count(self):
+        mlp = MLP(3, [4], 2, rng=0)
+        kfac = KFAC(mlp)
+        with pytest.raises(ValueError, match="gradients"):
+            kfac.step([np.zeros((4, 2))])
+
+    def test_invalid_hyperparameters(self):
+        mlp = MLP(3, [4], 2, rng=0)
+        with pytest.raises(ValueError):
+            KFAC(mlp, lr=0.0)
+        with pytest.raises(ValueError):
+            KFAC(mlp, kl_clip=-1.0)
+        with pytest.raises(ValueError):
+            KFAC(mlp, stat_decay=1.0)
+
+    def test_trust_region_scale_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        mlp = MLP(4, [8], 3, rng=0)
+        kfac = KFAC(mlp, lr=0.5, kl_clip=1e-4)
+        x = rng.normal(size=(16, 4))
+        target = rng.normal(size=(16, 3))
+        out = mlp.forward(x)
+        mlp.backward(rng.normal(size=out.shape))
+        kfac.update_stats()
+        mlp.backward((out - target) / 16)
+        scale = kfac.step(mlp.gradients)
+        assert 0.0 < scale <= 1.0
+
+    def test_updates_change_parameters(self):
+        rng = np.random.default_rng(2)
+        mlp = MLP(4, [8], 3, rng=0)
+        kfac = KFAC(mlp)
+        before = mlp.copy_parameters()
+        x = rng.normal(size=(16, 4))
+        fit_step(mlp, kfac, x, rng.normal(size=(16, 3)))
+        assert any(
+            not np.allclose(a, b) for a, b in zip(before, mlp.parameters)
+        )
+
+
+class TestKFACOptimisation:
+    def test_regression_loss_decreases(self):
+        rng = np.random.default_rng(3)
+        mlp = MLP(5, [16], 2, rng=4)
+        kfac = KFAC(mlp, lr=0.2, kl_clip=0.01)
+        x = rng.normal(size=(64, 5))
+        true_w = rng.normal(size=(5, 2))
+        target = x @ true_w
+        losses = [fit_step(mlp, kfac, x, target) for _ in range(60)]
+        assert losses[-1] < 0.2 * losses[0], (
+            f"K-FAC failed to fit a linear map: {losses[0]:.4f} -> {losses[-1]:.4f}"
+        )
+
+    def test_preconditioning_differs_from_raw_gradient(self):
+        """With anisotropic input statistics the K-FAC step must differ in
+        direction from the raw gradient step."""
+        rng = np.random.default_rng(5)
+        mlp = MLP(4, [], 2, rng=6)  # single linear layer
+        kfac = KFAC(mlp, lr=1.0, kl_clip=1e6, damping=1e-3,
+                    max_grad_norm=None, inversion_interval=1)
+        # Strongly anisotropic inputs.
+        x = rng.normal(size=(256, 4)) * np.array([10.0, 1.0, 0.1, 0.01])
+        target = rng.normal(size=(256, 2))
+        out = mlp.forward(x)
+        mlp.backward(rng.normal(size=out.shape))
+        kfac.update_stats()
+        mlp.backward((out - target) / 256)
+        raw = mlp.gradients[0].copy()
+        before = mlp.parameters[0].copy()
+        kfac.step(mlp.gradients)
+        step = before - mlp.parameters[0]
+        cos = np.sum(step * raw) / (np.linalg.norm(step) * np.linalg.norm(raw))
+        assert cos < 0.99, "preconditioned step is identical to the raw gradient"

@@ -1,0 +1,72 @@
+"""Comparative test: K-FAC's advantage on badly conditioned problems.
+
+The reason ACKTR uses K-FAC (Sec. IV-C2): natural-gradient steps are
+invariant to input scaling that cripples first-order methods.  This test
+constructs a linear regression with inputs spanning four orders of
+magnitude and checks K-FAC fits it dramatically faster than plain SGD at
+its best stable learning rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.kfac import KFAC
+from repro.nn.mlp import MLP
+from repro.nn.optim import SGD
+
+
+def make_problem(seed=0, n=256):
+    rng = np.random.default_rng(seed)
+    scales = np.array([100.0, 10.0, 1.0, 0.01])
+    x = rng.normal(size=(n, 4)) * scales
+    true_w = rng.normal(size=(4, 1))
+    y = x @ true_w
+    return x, y
+
+
+def loss_of(mlp, x, y):
+    return float(0.5 * np.mean((mlp.forward(x) - y) ** 2))
+
+
+def train_sgd(x, y, steps, lr):
+    mlp = MLP(4, [], 1, rng=1)
+    opt = SGD(mlp.parameters, lr=lr)
+    for _ in range(steps):
+        out = mlp.forward(x)
+        mlp.backward((out - y) / x.shape[0])
+        opt.step(mlp.gradients)
+    return loss_of(mlp, x, y)
+
+
+def train_kfac(x, y, steps):
+    rng = np.random.default_rng(2)
+    mlp = MLP(4, [], 1, rng=1)
+    # The KL trust region is a policy-gradient safeguard; for pure
+    # regression it only throttles, so it is effectively disabled here to
+    # isolate the preconditioning effect.
+    kfac = KFAC(mlp, lr=1.0, kl_clip=1e9, damping=1e-6,
+                stat_decay=0.9, inversion_interval=1, max_grad_norm=None)
+    for _ in range(steps):
+        out = mlp.forward(x)
+        mlp.backward(rng.normal(size=out.shape))
+        kfac.update_stats()
+        mlp.backward((out - y) / x.shape[0])
+        kfac.step(mlp.gradients)
+    return loss_of(mlp, x, y)
+
+
+class TestConditioning:
+    def test_kfac_beats_sgd_on_ill_conditioned_regression(self):
+        x, y = make_problem()
+        initial = loss_of(MLP(4, [], 1, rng=1), x, y)
+        # SGD at the largest stable rate for this curvature (1/lambda_max
+        # ~ 1e-4 given the 100x input scale).
+        sgd_loss = min(
+            train_sgd(x, y, steps=60, lr=lr) for lr in (1e-4, 3e-5)
+        )
+        kfac_loss = train_kfac(x, y, steps=60)
+        assert kfac_loss < 0.05 * initial
+        assert kfac_loss < 0.5 * sgd_loss, (
+            f"K-FAC ({kfac_loss:.4f}) should beat SGD ({sgd_loss:.4f}) "
+            "on ill-conditioned inputs"
+        )

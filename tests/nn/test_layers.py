@@ -1,0 +1,118 @@
+"""Tests for dense layers and activations (including numerical gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import orthogonal, xavier_uniform
+from repro.nn.layers import Dense, Identity, ReLU, Tanh
+
+
+class TestInit:
+    def test_orthogonal_is_orthogonal(self):
+        w = orthogonal((8, 8), rng=0)
+        assert np.allclose(w @ w.T, np.eye(8), atol=1e-10)
+
+    def test_orthogonal_gain(self):
+        w = orthogonal((6, 6), gain=2.0, rng=0)
+        assert np.allclose(w @ w.T, 4.0 * np.eye(6), atol=1e-9)
+
+    def test_orthogonal_rectangular(self):
+        tall = orthogonal((10, 4), rng=0)
+        assert tall.shape == (10, 4)
+        assert np.allclose(tall.T @ tall, np.eye(4), atol=1e-10)
+        wide = orthogonal((4, 10), rng=0)
+        assert np.allclose(wide @ wide.T, np.eye(4), atol=1e-10)
+
+    def test_xavier_bounds(self):
+        w = xavier_uniform((100, 50), rng=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            orthogonal((3,))
+        with pytest.raises(ValueError):
+            xavier_uniform((3, 3, 3))
+
+
+class TestDense:
+    def test_forward_shape_and_bias(self):
+        layer = Dense(3, 2, rng=0)
+        layer.weight[:] = 0.0
+        layer.weight[-1] = [1.0, 2.0]  # bias row
+        out = layer.forward(np.zeros((4, 3)))
+        assert out.shape == (4, 2)
+        assert np.allclose(out, [[1.0, 2.0]] * 4)
+
+    def test_bad_input_shape_rejected(self):
+        layer = Dense(3, 2)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((4, 5)))
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros(3))
+
+    def test_backward_gradient_numerically(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 3, rng=1)
+        x = rng.normal(size=(5, 4))
+        dz = rng.normal(size=(5, 3))
+
+        def loss():
+            return float(np.sum(layer.forward(x) * dz))
+
+        layer.forward(x)
+        dx = layer.backward(dz)
+        analytic = layer.grad.copy()
+        eps = 1e-6
+        for _ in range(20):
+            i = tuple(rng.integers(s) for s in layer.weight.shape)
+            orig = layer.weight[i]
+            layer.weight[i] = orig + eps
+            up = loss()
+            layer.weight[i] = orig - eps
+            down = loss()
+            layer.weight[i] = orig
+            assert (up - down) / (2 * eps) == pytest.approx(analytic[i], abs=1e-6)
+        # Input gradient: d(sum z*dz)/dx = dz @ W_core^T.
+        assert np.allclose(dx, dz @ layer.weight[:-1].T)
+
+    def test_backward_accumulate(self):
+        layer = Dense(2, 2, rng=0)
+        x = np.ones((1, 2))
+        dz = np.ones((1, 2))
+        layer.forward(x)
+        layer.backward(dz)
+        once = layer.grad.copy()
+        layer.forward(x)
+        layer.backward(dz, accumulate=True)
+        assert np.allclose(layer.grad, 2 * once)
+
+    def test_zero_grad(self):
+        layer = Dense(2, 2, rng=0)
+        layer.forward(np.ones((1, 2)))
+        layer.backward(np.ones((1, 2)))
+        layer.zero_grad()
+        assert np.all(layer.grad == 0)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        with pytest.raises(ValueError):
+            Dense(3, 2, init="mystery")
+
+
+@pytest.mark.parametrize(
+    "activation,fn,dfn",
+    [
+        (Tanh(), np.tanh, lambda x: 1 - np.tanh(x) ** 2),
+        (ReLU(), lambda x: np.maximum(x, 0), lambda x: (x > 0).astype(float)),
+        (Identity(), lambda x: x, lambda x: np.ones_like(x)),
+    ],
+)
+def test_activation_forward_backward(activation, fn, dfn):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(3, 4))
+    dout = rng.normal(size=(3, 4))
+    out = activation.forward(x)
+    assert np.allclose(out, fn(x))
+    assert np.allclose(activation.backward(dout), dout * dfn(x))

@@ -1,0 +1,100 @@
+"""Tests for the MLP: shapes, gradients, parameter plumbing, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn.mlp import MLP
+
+
+class TestForward:
+    def test_output_shape(self):
+        mlp = MLP(5, [16, 8], 3, rng=0)
+        assert mlp.forward(np.zeros((7, 5))).shape == (7, 3)
+
+    def test_1d_input_promoted(self):
+        mlp = MLP(5, [8], 2, rng=0)
+        assert mlp.forward(np.zeros(5)).shape == (1, 2)
+
+    def test_callable(self):
+        mlp = MLP(3, [4], 2, rng=0)
+        x = np.ones((2, 3))
+        assert np.allclose(mlp(x), mlp.forward(x))
+
+    def test_activation_choices(self):
+        for act in ("tanh", "relu", "identity"):
+            MLP(3, [4], 2, activation=act, rng=0).forward(np.zeros((1, 3)))
+        with pytest.raises(ValueError, match="unknown activation"):
+            MLP(3, [4], 2, activation="gelu")
+
+    def test_no_hidden_layers(self):
+        mlp = MLP(3, [], 2, rng=0)
+        assert len(mlp.dense_layers) == 1
+
+
+class TestBackward:
+    def test_full_network_gradient_numerically(self):
+        rng = np.random.default_rng(1)
+        mlp = MLP(4, [6, 5], 3, rng=2)
+        x = rng.normal(size=(8, 4))
+        target = rng.normal(size=(8, 3))
+
+        def loss():
+            return float(0.5 * np.sum((mlp.forward(x) - target) ** 2))
+
+        out = mlp.forward(x)
+        mlp.backward(out - target)
+        analytic = [g.copy() for g in mlp.gradients]
+        eps = 1e-6
+        for layer_index, w in enumerate(mlp.parameters):
+            for _ in range(8):
+                i = tuple(rng.integers(s) for s in w.shape)
+                orig = w[i]
+                w[i] = orig + eps
+                up = loss()
+                w[i] = orig - eps
+                down = loss()
+                w[i] = orig
+                numeric = (up - down) / (2 * eps)
+                assert numeric == pytest.approx(
+                    analytic[layer_index][i], abs=1e-5
+                ), f"layer {layer_index} entry {i}"
+
+    def test_zero_grad(self):
+        mlp = MLP(3, [4], 2, rng=0)
+        mlp.forward(np.ones((2, 3)))
+        mlp.backward(np.ones((2, 2)))
+        mlp.zero_grad()
+        assert all(np.all(g == 0) for g in mlp.gradients)
+
+
+class TestParameters:
+    def test_num_parameters(self):
+        mlp = MLP(4, [8], 2, rng=0)
+        # (4+1)*8 + (8+1)*2 = 40 + 18.
+        assert mlp.num_parameters() == 58
+
+    def test_set_and_copy_parameters(self):
+        a = MLP(3, [4], 2, rng=0)
+        b = MLP(3, [4], 2, rng=99)
+        b.set_parameters(a.copy_parameters())
+        x = np.ones((2, 3))
+        assert np.allclose(a.forward(x), b.forward(x))
+        # Copies must be independent.
+        a.parameters[0][0, 0] += 1.0
+        assert not np.allclose(a.forward(x), b.forward(x))
+
+    def test_set_parameters_shape_checked(self):
+        mlp = MLP(3, [4], 2, rng=0)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mlp.set_parameters([np.zeros((2, 2)), np.zeros((5, 2))])
+        with pytest.raises(ValueError, match="expected"):
+            mlp.set_parameters([np.zeros((4, 4))])
+
+    def test_save_load_roundtrip(self, tmp_path):
+        mlp = MLP(4, [8, 8], 3, rng=0)
+        path = tmp_path / "weights.npz"
+        mlp.save(path)
+        other = MLP(4, [8, 8], 3, rng=123)
+        other.load(path)
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        assert np.allclose(mlp.forward(x), other.forward(x))

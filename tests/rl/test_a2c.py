@@ -1,0 +1,92 @@
+"""Tests for the A2C trainer."""
+
+import numpy as np
+import pytest
+
+from repro.rl.a2c import A2CConfig, A2CTrainer
+
+from tests.rl.toy_envs import ContextualBanditEnv
+
+
+class TestA2CConfig:
+    def test_defaults_match_paper(self):
+        cfg = A2CConfig()
+        assert cfg.gamma == 0.99
+        assert cfg.entropy_coef == 0.01
+        assert cfg.value_loss_coef == 0.25
+        assert cfg.max_grad_norm == 0.5
+        assert cfg.n_envs == 4
+
+    @pytest.mark.parametrize("kwargs", [
+        {"gamma": 0.0},
+        {"gamma": 1.5},
+        {"n_steps": 0},
+        {"n_envs": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            A2CConfig(**kwargs)
+
+
+class TestA2CTrainer:
+    def test_update_returns_stats(self):
+        trainer = A2CTrainer(
+            lambda: ContextualBanditEnv(),
+            A2CConfig(learning_rate=0.003, n_steps=8, n_envs=2),
+            seed=0,
+        )
+        stats = trainer.update()
+        assert np.isfinite(stats.policy_loss)
+        assert np.isfinite(stats.value_loss)
+        assert stats.entropy > 0
+        assert trainer.updates_done == 1
+
+    def test_learns_contextual_bandit(self):
+        trainer = A2CTrainer(
+            lambda: ContextualBanditEnv(),
+            A2CConfig(learning_rate=0.003, n_steps=20, n_envs=4),
+            seed=0,
+        )
+        trainer.train(80)
+        # Optimal is +20/episode; uniform random averages about -6.7.
+        assert trainer.mean_recent_episode_reward() > 12.0
+
+    def test_entropy_decreases_as_policy_sharpens(self):
+        trainer = A2CTrainer(
+            lambda: ContextualBanditEnv(),
+            A2CConfig(learning_rate=0.003, n_steps=20, n_envs=4),
+            seed=0,
+        )
+        history = trainer.train(60)
+        assert history[-1].entropy < history[0].entropy
+
+    def test_episode_history_populated(self):
+        trainer = A2CTrainer(
+            lambda: ContextualBanditEnv(episode_length=5),
+            A2CConfig(learning_rate=0.003, n_steps=10, n_envs=2),
+            seed=0,
+        )
+        trainer.train(5)
+        # 5 updates x 10 steps = 50 steps/env; 10 episodes/env.
+        assert len(trainer.episode_history) == 20
+
+    def test_no_episodes_gives_minus_inf(self):
+        trainer = A2CTrainer(
+            lambda: ContextualBanditEnv(episode_length=1000),
+            A2CConfig(n_steps=4, n_envs=1),
+            seed=0,
+        )
+        assert trainer.mean_recent_episode_reward() == float("-inf")
+
+    def test_custom_policy_accepted(self):
+        from repro.rl.policy import ActorCriticPolicy
+
+        env = ContextualBanditEnv()
+        policy = ActorCriticPolicy(env.observation_size, env.num_actions,
+                                   hidden=(8,), rng=7)
+        trainer = A2CTrainer(
+            lambda: ContextualBanditEnv(),
+            A2CConfig(n_steps=4, n_envs=2),
+            policy=policy,
+        )
+        assert trainer.policy is policy

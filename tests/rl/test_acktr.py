@@ -1,0 +1,65 @@
+"""Tests for the ACKTR trainer."""
+
+import numpy as np
+import pytest
+
+from repro.rl.acktr import ACKTRConfig, ACKTRTrainer
+
+from tests.rl.toy_envs import ContextualBanditEnv
+
+
+class TestACKTRConfig:
+    def test_paper_defaults(self):
+        cfg = ACKTRConfig()
+        assert cfg.learning_rate == 0.25
+        assert cfg.kl_clip == 0.001
+        assert cfg.fisher_coef == 1.0
+        assert cfg.gamma == 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ACKTRConfig(kl_clip=0.0)
+
+
+class TestACKTRTrainer:
+    def test_update_runs(self):
+        trainer = ACKTRTrainer(
+            lambda: ContextualBanditEnv(),
+            ACKTRConfig(n_steps=8, n_envs=2),
+            seed=0,
+        )
+        stats = trainer.update()
+        assert np.isfinite(stats.policy_loss)
+        assert np.isfinite(stats.value_loss)
+
+    def test_learns_contextual_bandit(self):
+        trainer = ACKTRTrainer(
+            lambda: ContextualBanditEnv(),
+            ACKTRConfig(n_steps=20, n_envs=4),
+            seed=0,
+        )
+        trainer.train(60)
+        assert trainer.mean_recent_episode_reward() > 12.0
+
+    def test_uses_kfac_optimizers(self):
+        trainer = ACKTRTrainer(
+            lambda: ContextualBanditEnv(),
+            ACKTRConfig(n_steps=4, n_envs=1),
+            seed=0,
+        )
+        from repro.nn.kfac import KFAC
+
+        assert isinstance(trainer.actor_kfac, KFAC)
+        assert isinstance(trainer.critic_kfac, KFAC)
+
+    def test_reward_improves_over_training(self):
+        trainer = ACKTRTrainer(
+            lambda: ContextualBanditEnv(),
+            ACKTRConfig(n_steps=20, n_envs=4),
+            seed=0,
+        )
+        trainer.train(10)
+        early = trainer.mean_recent_episode_reward(window=10)
+        trainer.train(50)
+        late = trainer.mean_recent_episode_reward(window=10)
+        assert late > early + 5.0, f"no learning progress: {early} -> {late}"

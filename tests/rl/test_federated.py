@@ -1,0 +1,148 @@
+"""Tests for federated continuous training (paper Sec. IV-C1 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.federated import FederatedAveraging, FederatedConfig, LocalLearner
+from repro.rl.policy import ActorCriticPolicy
+
+
+def make_learner(node="v1", seed=0, batch_size=8, lr=0.003) -> LocalLearner:
+    policy = ActorCriticPolicy(3, 3, hidden=(16,), rng=seed)
+    return LocalLearner(
+        node, policy, FederatedConfig(batch_size=batch_size, learning_rate=lr)
+    )
+
+
+def bandit_transition(rng, learner, correct_bias=True):
+    """One contextual-bandit transition: one-hot state, reward +1 for the
+    matching action, -1 otherwise."""
+    state = int(rng.integers(3))
+    obs = np.eye(3)[state]
+    action = learner.policy.act_single(obs, rng=rng, deterministic=False)
+    reward = 1.0 if (action == state) == correct_bias else -1.0
+    next_obs = np.eye(3)[int(rng.integers(3))]
+    return learner.record(obs, action, reward, next_obs, done=False)
+
+
+class TestFederatedConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"gamma": 0.0},
+        {"batch_size": 0},
+        {"sync_interval_updates": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FederatedConfig(**kwargs)
+
+
+class TestLocalLearner:
+    def test_updates_fire_at_batch_size(self):
+        learner = make_learner(batch_size=4)
+        rng = np.random.default_rng(0)
+        fired = [bandit_transition(rng, learner) for _ in range(8)]
+        assert fired == [False, False, False, True] * 2
+        assert learner.updates_applied == 2
+        assert learner.transitions_seen == 8
+
+    def test_local_learning_improves_policy(self):
+        learner = make_learner(batch_size=16)
+        rng = np.random.default_rng(0)
+        for _ in range(1500):
+            bandit_transition(rng, learner)
+        # After training, the greedy action matches the state most times.
+        correct = sum(
+            learner.policy.act_single(np.eye(3)[s]) == s for s in range(3)
+        )
+        assert correct == 3
+
+    def test_update_changes_parameters(self):
+        learner = make_learner(batch_size=2)
+        before = learner.policy.actor.copy_parameters()
+        rng = np.random.default_rng(0)
+        bandit_transition(rng, learner)
+        bandit_transition(rng, learner)
+        after = learner.policy.actor.parameters
+        assert any(not np.allclose(a, b) for a, b in zip(before, after))
+
+
+class TestFederatedAveraging:
+    def make_fleet(self, n=3, batch_size=4):
+        learners = [make_learner(node=f"v{i}", seed=i, batch_size=batch_size)
+                    for i in range(n)]
+        return learners, FederatedAveraging(learners)
+
+    def test_synchronize_aligns_models(self):
+        learners, fed = self.make_fleet()
+        rng = np.random.default_rng(0)
+        for learner in learners:
+            for _ in range(8):
+                bandit_transition(rng, learner)
+        assert fed.model_divergence() > 0.0
+        weights = fed.synchronize()
+        assert fed.model_divergence() == pytest.approx(0.0, abs=1e-12)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert fed.rounds == 1
+
+    def test_weights_proportional_to_experience(self):
+        learners, fed = self.make_fleet(n=2, batch_size=2)
+        rng = np.random.default_rng(0)
+        # Node v0: 3 updates; node v1: 1 update.
+        for _ in range(6):
+            bandit_transition(rng, learners[0])
+        for _ in range(2):
+            bandit_transition(rng, learners[1])
+        weights = fed.synchronize()
+        assert weights["v0"] == pytest.approx(0.75)
+        assert weights["v1"] == pytest.approx(0.25)
+
+    def test_idle_nodes_do_not_dilute(self):
+        """A node with zero updates keeps weight 0 — the averaged model is
+        exactly the active node's model."""
+        learners, fed = self.make_fleet(n=2, batch_size=2)
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            bandit_transition(rng, learners[0])
+        active = [w.copy() for w in learners[0].policy.actor.parameters]
+        weights = fed.synchronize()
+        assert weights["v1"] == 0.0
+        for w_avg, w_active in zip(learners[1].policy.actor.parameters, active):
+            assert np.allclose(w_avg, w_active)
+
+    def test_sync_with_no_updates_is_noop(self):
+        learners, fed = self.make_fleet()
+        before = learners[0].policy.actor.copy_parameters()
+        weights = fed.synchronize()
+        assert all(w == 0.0 for w in weights.values())
+        assert all(
+            np.allclose(a, b)
+            for a, b in zip(before, learners[0].policy.actor.parameters)
+        )
+
+    def test_should_sync_interval(self):
+        learners, fed = self.make_fleet(n=2, batch_size=2)
+        rng = np.random.default_rng(0)
+        assert not fed.should_sync(interval_updates=1)
+        for _ in range(4):  # 2 updates on node v0 -> mean = 1
+            bandit_transition(rng, learners[0])
+        assert fed.should_sync(interval_updates=1)
+        fed.synchronize()
+        assert not fed.should_sync(interval_updates=1)
+
+    def test_federated_fleet_learns_jointly(self):
+        """Three nodes each seeing a third of the data converge to a good
+        shared policy through periodic averaging."""
+        learners, fed = self.make_fleet(n=3, batch_size=8)
+        rng = np.random.default_rng(1)
+        for round_index in range(40):
+            for learner in learners:
+                for _ in range(16):
+                    bandit_transition(rng, learner)
+            fed.synchronize()
+        shared = learners[0].policy
+        correct = sum(shared.act_single(np.eye(3)[s]) == s for s in range(3))
+        assert correct >= 2
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            FederatedAveraging([])

@@ -1,0 +1,63 @@
+"""Tests for the actor-critic policy wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.rl.policy import ActorCriticPolicy
+
+
+class TestActorCriticPolicy:
+    def test_spaces(self):
+        policy = ActorCriticPolicy(6, 4, hidden=(8, 8), rng=0)
+        assert policy.actor.in_dim == 6
+        assert policy.actor.out_dim == 4
+        assert policy.critic.out_dim == 1
+
+    def test_act_shapes(self):
+        policy = ActorCriticPolicy(6, 4, hidden=(8,), rng=0)
+        rng = np.random.default_rng(0)
+        obs = rng.normal(size=(5, 6))
+        actions, values, log_probs = policy.act(obs, rng)
+        assert actions.shape == (5,)
+        assert values.shape == (5,)
+        assert log_probs.shape == (5,)
+        assert np.all((actions >= 0) & (actions < 4))
+        assert np.all(log_probs <= 0)
+
+    def test_deterministic_act_is_mode(self):
+        policy = ActorCriticPolicy(3, 3, hidden=(8,), rng=0)
+        rng = np.random.default_rng(0)
+        obs = np.eye(3)
+        a1, _, _ = policy.act(obs, rng, deterministic=True)
+        a2, _, _ = policy.act(obs, rng, deterministic=True)
+        assert np.array_equal(a1, a2)
+
+    def test_act_single(self):
+        policy = ActorCriticPolicy(3, 4, hidden=(8,), rng=0)
+        action = policy.act_single(np.zeros(3))
+        assert 0 <= action < 4
+        with pytest.raises(ValueError, match="rng"):
+            policy.act_single(np.zeros(3), deterministic=False)
+
+    def test_clone_independence(self):
+        policy = ActorCriticPolicy(3, 2, hidden=(4,), rng=0)
+        twin = policy.clone()
+        obs = np.ones((1, 3))
+        assert np.allclose(policy.actor.forward(obs), twin.actor.forward(obs))
+        policy.actor.parameters[0][0, 0] += 5.0
+        assert not np.allclose(policy.actor.forward(obs), twin.actor.forward(obs))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        policy = ActorCriticPolicy(5, 3, hidden=(8, 8), rng=0)
+        path = tmp_path / "policy.npz"
+        policy.save(path)
+        loaded = ActorCriticPolicy.load(path, hidden=(8, 8))
+        assert loaded.obs_dim == 5
+        assert loaded.num_actions == 3
+        obs = np.random.default_rng(1).normal(size=(4, 5))
+        assert np.allclose(policy.actor.forward(obs), loaded.actor.forward(obs))
+        assert np.allclose(policy.values(obs), loaded.values(obs))
+
+    def test_invalid_action_count(self):
+        with pytest.raises(ValueError):
+            ActorCriticPolicy(3, 0)

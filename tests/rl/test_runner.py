@@ -1,0 +1,79 @@
+"""Tests for the parallel rollout runner."""
+
+import numpy as np
+import pytest
+
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.policy import ActorCriticPolicy
+from repro.rl.runner import ParallelRunner
+
+from tests.rl.toy_envs import ContextualBanditEnv, FixedEpisodeEnv
+
+
+def make_runner(envs, n_steps=4, seed=0):
+    policy = ActorCriticPolicy(
+        envs[0].observation_size, envs[0].num_actions, hidden=(8,), rng=seed
+    )
+    return policy, ParallelRunner(envs, policy, n_steps, np.random.default_rng(seed))
+
+
+class TestParallelRunner:
+    def test_collect_fills_buffer(self):
+        envs = [FixedEpisodeEnv(length=10) for _ in range(3)]
+        policy, runner = make_runner(envs, n_steps=4)
+        buf = RolloutBuffer(4, 3, 1)
+        last_values = runner.collect(buf)
+        assert buf.full
+        assert last_values.shape == (3,)
+
+    def test_episode_records_on_done(self):
+        envs = [FixedEpisodeEnv(length=3) for _ in range(2)]
+        policy, runner = make_runner(envs, n_steps=7)
+        buf = RolloutBuffer(7, 2, 1)
+        runner.collect(buf)
+        episodes = runner.drain_episodes()
+        # 7 steps with 3-step episodes: 2 completed per env.
+        assert len(episodes) == 4
+        # Rewards 0+1+2 = 3 per episode; terminal info captured.
+        assert all(e.total_reward == 3.0 for e in episodes)
+        assert all(e.length == 3 for e in episodes)
+        assert all(e.info.get("last") is True for e in episodes)
+
+    def test_auto_reset_after_done(self):
+        env = FixedEpisodeEnv(length=2)
+        policy, runner = make_runner([env], n_steps=5)
+        buf = RolloutBuffer(5, 1, 1)
+        runner.collect(buf)
+        # reset at construction + after each of 2 completed episodes.
+        assert env.resets == 3
+
+    def test_drain_clears(self):
+        envs = [FixedEpisodeEnv(length=2)]
+        policy, runner = make_runner(envs, n_steps=4)
+        buf = RolloutBuffer(4, 1, 1)
+        runner.collect(buf)
+        assert runner.drain_episodes()
+        assert runner.drain_episodes() == []
+
+    def test_mismatched_envs_rejected(self):
+        envs = [ContextualBanditEnv(num_states=3), ContextualBanditEnv(num_states=4)]
+        with pytest.raises(ValueError, match="share"):
+            make_runner(envs)
+
+    def test_policy_env_mismatch_rejected(self):
+        envs = [ContextualBanditEnv(num_states=3)]
+        policy = ActorCriticPolicy(99, 3, hidden=(4,), rng=0)
+        with pytest.raises(ValueError, match="match"):
+            ParallelRunner(envs, policy, 4, np.random.default_rng(0))
+
+    def test_empty_envs_rejected(self):
+        policy = ActorCriticPolicy(3, 3, hidden=(4,), rng=0)
+        with pytest.raises(ValueError, match="at least one"):
+            ParallelRunner([], policy, 4, np.random.default_rng(0))
+
+    def test_dones_recorded_in_buffer(self):
+        envs = [FixedEpisodeEnv(length=2)]
+        policy, runner = make_runner(envs, n_steps=4)
+        buf = RolloutBuffer(4, 1, 1)
+        runner.collect(buf)
+        assert np.allclose(buf.dones[:, 0], [0.0, 1.0, 0.0, 1.0])

@@ -1,0 +1,49 @@
+"""Tests for the minimal space descriptions."""
+
+import numpy as np
+import pytest
+
+from repro.rl.spaces import Box, Discrete
+
+
+class TestDiscrete:
+    def test_contains(self):
+        space = Discrete(4)
+        assert space.contains(0)
+        assert space.contains(3)
+        assert not space.contains(4)
+        assert not space.contains(-1)
+
+    def test_sample_in_range(self):
+        space = Discrete(5)
+        rng = np.random.default_rng(0)
+        samples = [space.sample(rng) for _ in range(100)]
+        assert all(0 <= s < 5 for s in samples)
+        assert len(set(samples)) == 5  # all actions reachable
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Discrete(0)
+
+
+class TestBox:
+    def test_contains(self):
+        space = Box(-1.0, 1.0, (3,))
+        assert space.contains(np.zeros(3))
+        assert space.contains(np.ones(3))
+        assert not space.contains(np.full(3, 1.5))
+        assert not space.contains(np.zeros(4))
+
+    def test_size(self):
+        assert Box(-1, 1, (3, 4)).size == 12
+
+    def test_sample_within_bounds(self):
+        space = Box(-1.0, 1.0, (10,))
+        rng = np.random.default_rng(0)
+        assert space.contains(space.sample(rng))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Box(1.0, -1.0, (3,))
+        with pytest.raises(ValueError):
+            Box(-1.0, 1.0, (0,))

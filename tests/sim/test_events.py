@@ -1,0 +1,68 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+def ev(time: float, payload=None) -> Event:
+    return Event(time, EventKind.DECISION, payload)
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(ev(5.0, "b"))
+        q.push(ev(1.0, "a"))
+        q.push(ev(9.0, "c"))
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        q.push(ev(1.0, "first"))
+        q.push(ev(1.0, "second"))
+        q.push(ev(1.0, "third"))
+        assert [q.pop().payload for _ in range(3)] == ["first", "second", "third"]
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(ev(3.0))
+        q.push(ev(1.0))
+        assert q.peek_time() == 1.0
+        q.pop()
+        assert q.peek_time() == 3.0
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        first = q.push(ev(1.0, "cancelled"))
+        q.push(ev(2.0, "kept"))
+        first.cancelled = True
+        assert q.peek_time() == 2.0
+        assert q.pop().payload == "kept"
+        assert q.pop() is None
+
+    def test_len_and_bool_exclude_cancelled(self):
+        q = EventQueue()
+        assert not q
+        a = q.push(ev(1.0))
+        q.push(ev(2.0))
+        assert len(q) == 2 and q
+        a.cancelled = True
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0 and not q
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            EventQueue().push(ev(-1.0))
+
+    def test_push_returns_handle(self):
+        q = EventQueue()
+        event = q.push(ev(1.0))
+        assert isinstance(event, Event)
+        event.cancelled = True
+        assert q.pop() is None

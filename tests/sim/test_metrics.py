@@ -1,0 +1,93 @@
+"""Tests for metrics collection."""
+
+import pytest
+
+from repro.sim.metrics import DropReason, MetricsCollector
+from repro.traffic.flows import Flow, FlowSpec
+
+
+def make_flow(arrival=0.0, deadline=100.0) -> Flow:
+    return Flow(
+        FlowSpec(service="s", ingress="a", egress="b",
+                 arrival_time=arrival, deadline=deadline),
+        chain_length=1,
+    )
+
+
+class TestMetricsCollector:
+    def test_success_ratio_is_objective_of(self):
+        collector = MetricsCollector()
+        for _ in range(3):
+            flow = make_flow()
+            collector.record_generated(flow)
+            flow.mark_succeeded(5.0)
+            collector.record_success(flow)
+        flow = make_flow()
+        collector.record_generated(flow)
+        flow.mark_dropped(5.0, DropReason.LINK_CAPACITY)
+        collector.record_drop(flow, DropReason.LINK_CAPACITY)
+        assert collector.success_ratio == pytest.approx(0.75)
+
+    def test_ratio_zero_before_any_finish(self):
+        collector = MetricsCollector()
+        collector.record_generated(make_flow())
+        assert collector.success_ratio == 0.0
+
+    def test_unfinished_flows_not_counted(self):
+        """The objective divides by finished flows only (Eq. 1)."""
+        collector = MetricsCollector()
+        for _ in range(5):
+            collector.record_generated(make_flow())
+        flow = make_flow()
+        collector.record_generated(flow)
+        flow.mark_succeeded(1.0)
+        collector.record_success(flow)
+        assert collector.success_ratio == 1.0
+
+    def test_finalize_snapshot(self):
+        collector = MetricsCollector()
+        a, b = make_flow(arrival=0.0), make_flow(arrival=10.0)
+        collector.record_generated(a)
+        collector.record_generated(b)
+        a.hops = 3
+        a.mark_succeeded(20.0)
+        collector.record_success(a)
+        b.mark_dropped(15.0, DropReason.NODE_CAPACITY)
+        collector.record_drop(b, DropReason.NODE_CAPACITY)
+        collector.record_decision()
+        metrics = collector.finalize(horizon=100.0)
+        assert metrics.flows_generated == 2
+        assert metrics.flows_succeeded == 1
+        assert metrics.flows_dropped == 1
+        assert metrics.avg_end_to_end_delay == 20.0
+        assert metrics.avg_hops == 3
+        assert metrics.decisions == 1
+        assert metrics.horizon == 100.0
+        assert metrics.drop_reasons == {DropReason.NODE_CAPACITY: 1}
+
+    def test_no_successes_gives_none_delay(self):
+        metrics = MetricsCollector().finalize(horizon=10.0)
+        assert metrics.avg_end_to_end_delay is None
+        assert metrics.avg_hops is None
+
+    def test_summary_renders(self):
+        collector = MetricsCollector()
+        flow = make_flow()
+        collector.record_generated(flow)
+        flow.mark_succeeded(3.0)
+        collector.record_success(flow)
+        summary = collector.finalize(10.0).summary()
+        assert "ratio=1.000" in summary
+        assert "avg_delay=3.00" in summary
+
+    def test_success_series_tracks_running_ratio(self):
+        collector = MetricsCollector()
+        first = make_flow()
+        collector.record_generated(first)
+        first.mark_succeeded(1.0)
+        collector.record_success(first)
+        second = make_flow()
+        collector.record_generated(second)
+        second.mark_dropped(2.0, DropReason.INVALID_ACTION)
+        collector.record_drop(second, DropReason.INVALID_ACTION)
+        assert collector.success_series == [(1.0, 1.0), (2.0, 0.5)]

@@ -1,0 +1,66 @@
+"""Tests for the flow-tracing debug wrapper."""
+
+import pytest
+
+from repro.baselines.shortest_path import ShortestPathPolicy
+from repro.sim.tracing import TracingPolicy
+from repro.topology import line_network
+
+from tests.conftest import make_flow_specs, make_simple_catalog, make_simulator
+
+
+def run_traced(deadline=100.0, max_flows=10000):
+    net = line_network(3, node_capacity=10.0, link_capacity=10.0)
+    catalog = make_simple_catalog(processing_delay=2.0)
+    flows = make_flow_specs([1.0, 10.0], deadline=deadline)
+    sim = make_simulator(net, catalog, flows)
+    tracer = TracingPolicy(ShortestPathPolicy(net, catalog), max_flows=max_flows)
+    metrics = sim.run(tracer)
+    return tracer, metrics
+
+
+class TestTracingPolicy:
+    def test_transparent_to_results(self):
+        tracer, metrics = run_traced()
+        assert metrics.flows_succeeded == 2
+
+    def test_records_all_decisions(self):
+        tracer, metrics = run_traced()
+        assert len(tracer.traces) == 2
+        total_decisions = sum(len(t.decisions) for t in tracer.traces.values())
+        assert total_decisions == metrics.decisions
+
+    def test_path_reconstruction(self):
+        tracer, _ = run_traced()
+        for trace in tracer.traces.values():
+            assert trace.path[0] == "v1"
+            assert trace.path[-1] in ("v2", "v3")
+
+    def test_outcome_buckets(self):
+        tracer, _ = run_traced()
+        assert len(tracer.succeeded_traces()) == 2
+        assert tracer.dropped_traces() == []
+
+    def test_dropped_flow_trace(self):
+        tracer, metrics = run_traced(deadline=3.0)  # too tight to finish
+        assert metrics.flows_dropped == 2
+        dropped = tracer.dropped_traces()
+        assert len(dropped) == 2
+        assert all(t.drop_reason == "deadline_expired" for t in dropped)
+
+    def test_render_contains_decisions_and_outcome(self):
+        tracer, _ = run_traced()
+        flow_id = next(iter(tracer.traces))
+        rendered = tracer.render_flow(flow_id)
+        assert "v1" in rendered
+        assert "process/keep" in rendered
+        assert "succeeded" in rendered
+        assert "e2e" in rendered
+
+    def test_render_unknown_flow(self):
+        tracer, _ = run_traced()
+        assert "not traced" in tracer.render_flow(999999)
+
+    def test_max_flows_guard(self):
+        tracer, _ = run_traced(max_flows=1)
+        assert len(tracer.traces) == 1

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.topology == "Abilene"
+        assert args.pattern == "poisson"
+        assert args.ingress == 2
+
+    def test_evaluate_requires_policy_or_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate"])
+
+    def test_evaluate_policy_and_algorithm_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["evaluate", "--policy", "x.npz", "--algorithm", "sp"]
+            )
+
+
+class TestTopologyCommand:
+    def test_table(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "Abilene" in out
+        assert "Interroute" in out
+        assert "2 / 3 / 2.55" in out
+
+    def test_single_topology_details(self, capsys):
+        assert main(["topology", "--name", "Abilene"]) == 0
+        out = capsys.readouterr().out
+        assert "11 nodes, 14 links" in out
+        assert "v8" in out
+
+
+class TestEvaluateCommand:
+    def test_baseline_evaluation(self, capsys):
+        code = main([
+            "evaluate", "--algorithm", "sp",
+            "--pattern", "fixed", "--ingress", "1",
+            "--horizon", "300", "--eval-seeds", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "success=" in out
+        assert "decision time" in out
+
+
+class TestTrainEvaluateRoundtrip:
+    def test_train_then_evaluate(self, tmp_path, capsys):
+        policy_path = str(tmp_path / "policy.npz")
+        code = main([
+            "train", "-o", policy_path,
+            "--pattern", "fixed", "--ingress", "1",
+            "--horizon", "200", "--seeds", "1", "--updates", "3",
+            "--quiet",
+        ])
+        assert code == 0
+        assert "Saved best policy" in capsys.readouterr().out
+
+        code = main([
+            "evaluate", "--policy", policy_path,
+            "--pattern", "fixed", "--ingress", "1",
+            "--horizon", "200", "--eval-seeds", "1",
+        ])
+        assert code == 0
+        assert "success=" in capsys.readouterr().out

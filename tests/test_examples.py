@@ -1,0 +1,55 @@
+"""Sanity checks for the example scripts.
+
+Full example runs take minutes; here we verify every script compiles and
+that the cheapest one executes end to end with its budget scaled down.
+"""
+
+import ast
+import py_compile
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_has_main_guard(path):
+    tree = ast.parse(path.read_text())
+    has_guard = any(
+        isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", None) == "__name__"
+        for node in tree.body
+    )
+    assert has_guard, f"{path.name} lacks an if __name__ == '__main__' guard"
+
+
+def test_quickstart_runs_with_tiny_budget(monkeypatch, capsys):
+    """Execute quickstart's main() with its training budget shrunk."""
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        import quickstart
+
+        monkeypatch.setattr(quickstart, "SEEDS", (0,))
+        monkeypatch.setattr(quickstart, "UPDATES", 3)
+        quickstart.main()
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+    out = capsys.readouterr().out
+    assert "Distributed DRL" in out
+    assert "success ratio" in out

@@ -1,0 +1,115 @@
+"""Tests for trace-driven traffic."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.traces import (
+    RateTrace,
+    TraceArrival,
+    load_trace,
+    save_trace,
+    synthetic_abilene_trace,
+)
+
+
+class TestRateTrace:
+    def test_piecewise_lookup(self):
+        trace = RateTrace((0.0, 10.0, 20.0), (1.0, 2.0, 3.0))
+        assert trace.rate_at(-5.0) == 1.0
+        assert trace.rate_at(0.0) == 1.0
+        assert trace.rate_at(9.99) == 1.0
+        assert trace.rate_at(10.0) == 2.0
+        assert trace.rate_at(15.0) == 2.0
+        assert trace.rate_at(25.0) == 3.0
+
+    def test_max_and_mean(self):
+        trace = RateTrace((0.0, 10.0), (1.0, 3.0))
+        assert trace.max_rate == 3.0
+        # Only [0, 10) is sampled span; mean over it is rate[0].
+        assert trace.mean_rate == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateTrace((), ())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            RateTrace((0.0, 0.0), (1.0, 1.0))
+        with pytest.raises(ValueError, match=">= 0"):
+            RateTrace((0.0,), (-1.0,))
+        with pytest.raises(ValueError, match="equal-length"):
+            RateTrace((0.0, 1.0), (1.0,))
+
+
+class TestSyntheticTrace:
+    def test_deterministic(self):
+        a = synthetic_abilene_trace(horizon=1000.0, seed=5)
+        b = synthetic_abilene_trace(horizon=1000.0, seed=5)
+        assert a.times == b.times
+        assert a.rates == b.rates
+
+    def test_different_seeds_differ(self):
+        a = synthetic_abilene_trace(horizon=1000.0, seed=1)
+        b = synthetic_abilene_trace(horizon=1000.0, seed=2)
+        assert a.rates != b.rates
+
+    def test_mean_rate_near_target(self):
+        trace = synthetic_abilene_trace(horizon=50000.0, mean_rate=0.1, seed=0)
+        # Diurnal + bursts + noise average out near (slightly above, because
+        # bursts only multiply upward) the configured mean.
+        assert 0.08 < trace.mean_rate < 0.16
+
+    def test_rates_nonnegative(self):
+        trace = synthetic_abilene_trace(horizon=5000.0, noise_std=1.0, seed=0)
+        assert all(r >= 0.0 for r in trace.rates)
+
+    def test_has_bursts(self):
+        trace = synthetic_abilene_trace(
+            horizon=20000.0, burst_probability=0.1, burst_multiplier=3.0, seed=0
+        )
+        assert trace.max_rate > 2.0 * trace.mean_rate
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            synthetic_abilene_trace(horizon=0.0)
+
+
+class TestTraceArrival:
+    def test_arrival_rate_tracks_trace(self):
+        trace = RateTrace((0.0,), (0.2,))
+        proc = TraceArrival(trace, rng=0)
+        times = proc.arrivals_until(20000.0)
+        assert len(times) == pytest.approx(0.2 * 20000, rel=0.1)
+
+    def test_zero_trace_rejected(self):
+        with pytest.raises(ValueError, match="zero rate"):
+            TraceArrival(RateTrace((0.0,), (0.0,)))
+
+    def test_time_varying_density(self):
+        # Rate 0.5 in the first half, 0.05 in the second.
+        trace = RateTrace((0.0, 1000.0), (0.5, 0.05))
+        proc = TraceArrival(trace, rng=0)
+        times = proc.arrivals_until(2000.0)
+        first = sum(1 for t in times if t <= 1000.0)
+        second = len(times) - first
+        assert first > 4 * second
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        trace = synthetic_abilene_trace(horizon=500.0, seed=9)
+        path = tmp_path / "trace.csv"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.allclose(loaded.times, trace.times)
+        assert np.allclose(loaded.rates, trace.rates)
+
+    def test_load_rejects_bad_rows(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,rate\n1.0\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_trace(path)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(path)
