@@ -11,6 +11,11 @@ Every bench module reproduces one table/figure of the paper.  The budget
 
 The budgets scale the *fidelity*, never the experiment logic: the same
 code paths run at every scale.
+
+Orthogonally to the scale, ``REPRO_WORKERS`` selects how many worker
+processes the per-seed training and evaluation fan-outs use (serial when
+unset); results are bit-identical at any worker count, so the perf knob
+never changes a figure.
 """
 
 from __future__ import annotations
@@ -20,8 +25,9 @@ from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 from repro.eval.runner import SuiteConfig
+from repro.parallel import resolve_workers
 
-__all__ = ["BenchScale", "SCALE", "suite_config"]
+__all__ = ["BenchScale", "SCALE", "WORKERS", "suite_config"]
 
 
 @dataclass(frozen=True)
@@ -95,6 +101,10 @@ def _selected_scale() -> BenchScale:
 
 SCALE: BenchScale = _selected_scale()
 
+#: Worker processes for per-seed fan-outs, resolved once from
+#: ``REPRO_WORKERS`` (1 = serial).
+WORKERS: int = resolve_workers(None)
+
 
 def suite_config() -> SuiteConfig:
     """The scale's training budget as an eval-harness SuiteConfig."""
@@ -104,4 +114,5 @@ def suite_config() -> SuiteConfig:
         central_train_updates=SCALE.central_train_updates,
         eval_seeds=SCALE.eval_seeds,
         n_steps=SCALE.n_steps,
+        workers=WORKERS,
     )

@@ -10,11 +10,13 @@ standard rate, as in the stable-baselines defaults.)
 
 from __future__ import annotations
 
+from functools import partial
+
 import pytest
 
-from _config import SCALE, suite_config
-from repro.core.env import ServiceCoordinationEnv
+from _config import SCALE, WORKERS, suite_config
 from repro.core.agent import DistributedCoordinator
+from repro.core.trainer import CoordinationEnvBuilder
 from repro.eval.runner import evaluate_policy_on_scenario
 from repro.eval.scenarios import base_scenario
 from repro.eval.tables import SweepTable
@@ -25,18 +27,15 @@ from repro.rl.training import train_multi_seed
 EVAL_SEED_OFFSET = 1000
 
 #: Standard per-algorithm learning rates (natural vs. first-order steps
-#: live on different scales).
+#: live on different scales).  A2C uses the stable-baselines default 7e-4;
+#: anything much larger (e.g. 3e-3) collapses the policy entropy within a
+#: handful of RMSprop updates and freezes a degenerate drop-everything
+#: policy at success 0.000 (see EXPERIMENTS.md, algorithm ablation).
 ACKTR_LR = 0.25
-A2C_LR = 0.003
+A2C_LR = 0.0007
 
 
 def _train(scenario, algorithm: str):
-    counter = [0]
-
-    def env_factory():
-        counter[0] += 1
-        return ServiceCoordinationEnv(scenario, seed=counter[0])
-
     if algorithm == "acktr":
         config = ACKTRConfig(
             learning_rate=ACKTR_LR, n_steps=SCALE.n_steps, n_envs=4
@@ -44,14 +43,15 @@ def _train(scenario, algorithm: str):
     else:
         config = A2CConfig(learning_rate=A2C_LR, n_steps=SCALE.n_steps, n_envs=4)
     multi = train_multi_seed(
-        env_factory,
+        CoordinationEnvBuilder(scenario),
         config=config,
         seeds=tuple(SCALE.train_seeds),
         updates_per_seed=SCALE.train_updates,
         algorithm=algorithm,
+        workers=WORKERS,
     )
     policy = multi.best_policy
-    return lambda: DistributedCoordinator(scenario.network, scenario.catalog, policy)
+    return partial(DistributedCoordinator, scenario.network, scenario.catalog, policy)
 
 
 def _run():
@@ -70,6 +70,7 @@ def _run():
             factory,
             label,
             eval_seeds=[EVAL_SEED_OFFSET + s for s in SCALE.eval_seeds],
+            workers=WORKERS,
         )
         table.add(label, result.mean_success, result.std_success)
     return table

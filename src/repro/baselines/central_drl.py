@@ -38,6 +38,7 @@ import numpy as np
 from repro.baselines.base import BasePolicy
 from repro.core.env import CoordinationEnvConfig
 from repro.core.rewards import RewardFunction
+from repro.parallel import EnvBuilder
 from repro.rl.acktr import ACKTRConfig
 from repro.rl.policy import ActorCriticPolicy
 from repro.rl.training import MultiSeedResult, train_multi_seed
@@ -49,6 +50,7 @@ __all__ = [
     "CentralDRLConfig",
     "RuleExecutor",
     "CentralizedCoordinationEnv",
+    "CentralizedEnvBuilder",
     "CentralDRLPolicy",
     "train_central_coordinator",
 ]
@@ -422,6 +424,20 @@ class CentralDRLPolicy:
         return float(np.mean(self.rule_update_seconds))
 
 
+@dataclass(frozen=True)
+class CentralizedEnvBuilder(EnvBuilder):
+    """Picklable seed-to-environment factory for the centralized baseline,
+    enabling the per-seed training fan-out of :func:`train_multi_seed`."""
+
+    env_config: CoordinationEnvConfig
+    central_config: CentralDRLConfig = CentralDRLConfig()
+
+    def build(self, env_seed: int) -> CentralizedCoordinationEnv:
+        return CentralizedCoordinationEnv(
+            self.env_config, self.central_config, seed=env_seed
+        )
+
+
 def train_central_coordinator(
     env_config: CoordinationEnvConfig,
     central_config: CentralDRLConfig = CentralDRLConfig(),
@@ -430,21 +446,19 @@ def train_central_coordinator(
     updates_per_seed: int = 60,
     algorithm: str = "acktr",
     verbose: bool = False,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> Tuple[CentralDRLPolicy, MultiSeedResult]:
     """Train the central rule-setting agent and wrap it for inference."""
-    counter = [0]
-
-    def env_factory() -> CentralizedCoordinationEnv:
-        counter[0] += 1
-        return CentralizedCoordinationEnv(env_config, central_config, seed=counter[0])
-
     multi_seed = train_multi_seed(
-        env_factory,
+        CentralizedEnvBuilder(env_config, central_config),
         config=rl_config,
         seeds=seeds,
         updates_per_seed=updates_per_seed,
         algorithm=algorithm,
         verbose=verbose,
+        workers=workers,
+        timeout=timeout,
     )
     policy = CentralDRLPolicy(
         env_config.network,

@@ -25,6 +25,12 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for per-seed fan-out "
+                             "(default: $REPRO_WORKERS, else serial)")
+
+
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--topology", default="Abilene",
                         help="Abilene, 'BT Europe', 'China Telecom', Interroute")
@@ -75,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="gradient updates per seed")
     train.add_argument("--algorithm", default="acktr", choices=["acktr", "a2c"])
     train.add_argument("--quiet", action="store_true")
+    _add_workers_arg(train)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a policy on a scenario")
     _add_scenario_args(evaluate)
@@ -84,12 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="hand-written baseline instead of a trained policy")
     evaluate.add_argument("--eval-seeds", type=int, default=3,
                           help="number of traffic realisations")
+    _add_workers_arg(evaluate)
 
     compare = sub.add_parser("compare", help="train + compare all four algorithms")
     _add_scenario_args(compare)
     compare.add_argument("--updates", type=int, default=400)
     compare.add_argument("--seeds", type=int, default=2)
     compare.add_argument("--eval-seeds", type=int, default=3)
+    _add_workers_arg(compare)
     return parser
 
 
@@ -119,31 +128,38 @@ def _cmd_train(args: argparse.Namespace) -> int:
         seeds=tuple(range(args.seeds)),
         updates_per_seed=args.updates,
         n_steps=64,
+        workers=args.workers,
     )
     if not args.quiet:
         print(f"Training on {args.topology} / {args.pattern} / "
               f"{args.ingress} ingress ({args.seeds} seeds x {args.updates} updates)")
     result = train_coordinator(scenario, config, verbose=not args.quiet)
     result.multi_seed.best_policy.save(args.output)
+    if not args.quiet and result.multi_seed.timing is not None:
+        print(result.multi_seed.timing.render())
     print(f"Saved best policy (seed {result.best_seed}) to {args.output}")
     return 0
 
 
 def _build_policy(args: argparse.Namespace, scenario):
+    from functools import partial
+
     from repro.baselines import GCASPPolicy, RandomPolicy, ShortestPathPolicy
     from repro.core.agent import DistributedCoordinator
     from repro.rl.policy import ActorCriticPolicy
 
+    # partial() rather than lambdas: the factory must pickle so the
+    # per-seed evaluation can fan out across worker processes.
     if args.policy is not None:
         trained = ActorCriticPolicy.load(args.policy)
-        return lambda: DistributedCoordinator(
-            scenario.network, scenario.catalog, trained
+        return partial(
+            DistributedCoordinator, scenario.network, scenario.catalog, trained
         )
     if args.algorithm == "sp":
-        return lambda: ShortestPathPolicy(scenario.network, scenario.catalog)
+        return partial(ShortestPathPolicy, scenario.network, scenario.catalog)
     if args.algorithm == "gcasp":
-        return lambda: GCASPPolicy(scenario.network, scenario.catalog)
-    return lambda: RandomPolicy(scenario.network, seed=0)
+        return partial(GCASPPolicy, scenario.network, scenario.catalog)
+    return partial(RandomPolicy, scenario.network, seed=0)
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -155,9 +171,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     result = evaluate_policy_on_scenario(
         scenario, factory, name,
         eval_seeds=range(args.eval_seeds), time_decisions=True,
+        workers=args.workers,
     )
     print(result.summary())
     print(f"mean decision time: {result.mean_decision_ms:.3f} ms")
+    if result.timing is not None:
+        print(result.timing.render())
     return 0
 
 
@@ -171,14 +190,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             train_seeds=tuple(range(args.seeds)),
             train_updates=args.updates,
             n_steps=64,
+            workers=args.workers,
         ),
     )
-    results = suite.compare(eval_seeds=range(1000, 1000 + args.eval_seeds))
+    results = suite.compare(
+        eval_seeds=range(1000, 1000 + args.eval_seeds), workers=args.workers
+    )
     print(f"{'algorithm':<18} {'success':>14} {'avg delay':>10}")
     for name in ALL_ALGORITHMS:
         r = results[name]
         print(f"{name:<18} {r.mean_success:>8.3f}±{r.std_success:.3f} "
               f"{r.mean_delay:>10.1f}")
+    if suite.last_timing is not None:
+        print(suite.last_timing.render())
     return 0
 
 

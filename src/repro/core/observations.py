@@ -89,6 +89,12 @@ class ObservationAdapter:
             v: max(network.max_link_capacity_at(v), 1e-12)
             for v in network.node_names
         }
+        # Preallocated assembly buffer plus cached neighbor tuples: build()
+        # fills the buffer in place and returns one copy, so the per-decision
+        # hot path allocates a single vector instead of five parts plus
+        # their clipped/concatenated intermediates.
+        self._scratch = np.empty(self.size, dtype=np.float64)
+        self._neighbors = {v: tuple(network.neighbors(v)) for v in network.node_names}
 
     @property
     def part_slices(self) -> Dict[str, slice]:
@@ -109,8 +115,81 @@ class ObservationAdapter:
     # ------------------------------------------------------------------
 
     def build(self, decision: DecisionPoint, sim: Simulator) -> np.ndarray:
-        """Observation vector for a pending decision."""
-        return self.build_parts(decision, sim).concatenate()
+        """Observation vector for a pending decision.
+
+        Numerically identical to ``build_parts(...).concatenate()``, but
+        assembled in the preallocated scratch buffer: the hot path pays a
+        single allocation (the returned copy) per decision.
+        """
+        flow, node, now = decision.flow, decision.node, decision.time
+        neighbors = self._neighbors[node]
+        d = self.degree
+        out = self._scratch
+        state = sim.state
+
+        # F_f = <p̂_f, τ̂_f>
+        out[0] = flow.progress
+        out[1] = flow.normalized_remaining_time(now)
+
+        # R^L_v: free rate minus λ_f per outgoing link, clipped to [-1, 1].
+        rate = flow.data_rate
+        link_norm = self._max_link_capacity[node]
+        i = 2
+        for nb in neighbors:
+            value = (state.link_free(node, nb) - rate) / link_norm
+            out[i] = -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
+            i += 1
+        out[i : 2 + d] = DUMMY
+
+        # R^V_v: free compute minus r_c(λ_f) at v and neighbors, clipped.
+        if flow.fully_processed:
+            component = None
+            demand = 0.0
+        else:
+            service = self.catalog.service(flow.service)
+            component = service.component_at(flow.component_index)
+            demand = component.resources(rate)
+        node_norm = self._max_node_capacity
+        i = 2 + d
+        value = (state.node_free(node) - demand) / node_norm
+        out[i] = -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
+        i += 1
+        for nb in neighbors:
+            value = (state.node_free(nb) - demand) / node_norm
+            out[i] = -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
+            i += 1
+        out[i : 3 + 2 * d] = DUMMY
+
+        # D_{v,f}: deadline margin via each neighbor (no upper clip).
+        remaining = flow.remaining_time(now)
+        i = 3 + 2 * d
+        for nb in neighbors:
+            via = self.network.link(node, nb).delay + self.network.shortest_path_delay(
+                nb, flow.egress
+            )
+            if remaining <= 0 or not np.isfinite(via):
+                out[i] = -1.0
+            else:
+                margin = (remaining - via) / remaining
+                out[i] = -1.0 if margin < -1.0 else margin
+            i += 1
+        out[i : 3 + 3 * d] = DUMMY
+
+        # X_v: instance of the requested component at v / neighbors.
+        i = 3 + 3 * d
+        if component is None:
+            out[i : i + 1 + len(neighbors)] = 0.0
+            i += 1 + len(neighbors)
+        else:
+            name = component.name
+            out[i] = 1.0 if state.has_instance(node, name) else 0.0
+            i += 1
+            for nb in neighbors:
+                out[i] = 1.0 if state.has_instance(nb, name) else 0.0
+                i += 1
+        out[i : self.size] = DUMMY
+
+        return out.copy()
 
     def build_parts(self, decision: DecisionPoint, sim: Simulator) -> ObservationParts:
         """The five observation components for a pending decision."""

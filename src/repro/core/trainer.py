@@ -14,10 +14,32 @@ import numpy as np
 
 from repro.core.agent import DistributedCoordinator
 from repro.core.env import CoordinationEnvConfig, ServiceCoordinationEnv
+from repro.parallel import EnvBuilder
 from repro.rl.acktr import ACKTRConfig
 from repro.rl.training import MultiSeedResult, train_multi_seed
 
-__all__ = ["TrainingConfig", "TrainingResult", "train_coordinator"]
+__all__ = [
+    "CoordinationEnvBuilder",
+    "TrainingConfig",
+    "TrainingResult",
+    "train_coordinator",
+]
+
+
+@dataclass(frozen=True)
+class CoordinationEnvBuilder(EnvBuilder):
+    """Picklable seed-to-environment factory for one scenario.
+
+    Distinct env seeds give the l parallel environment copies different
+    traffic realisations, as in A3C-style training; carrying the seed
+    explicitly (instead of a shared counter) lets per-seed training tasks
+    run in worker processes with bit-identical results.
+    """
+
+    env_config: CoordinationEnvConfig
+
+    def build(self, env_seed: int) -> ServiceCoordinationEnv:
+        return ServiceCoordinationEnv(self.env_config, seed=env_seed)
 
 
 @dataclass(frozen=True)
@@ -38,6 +60,10 @@ class TrainingConfig:
         kl_clip: ACKTR trust-region bound (paper: 0.001).
         max_grad_norm: Gradient clip (paper: 0.5).
         eval_episodes: Greedy episodes per seed for best-agent selection.
+        workers: Worker processes for the per-seed fan-out (None reads
+            ``REPRO_WORKERS``; 1 = serial).
+        seed_timeout: Per-seed wall-clock limit in seconds (parallel
+            mode); None = no limit.
     """
 
     algorithm: str = "acktr"
@@ -52,6 +78,8 @@ class TrainingConfig:
     kl_clip: float = 0.001
     max_grad_norm: float = 0.5
     eval_episodes: int = 1
+    workers: Optional[int] = None
+    seed_timeout: Optional[float] = None
 
     def to_acktr_config(self) -> ACKTRConfig:
         return ACKTRConfig(
@@ -101,22 +129,16 @@ def train_coordinator(
         The deployed distributed coordinator (one agent per node holding a
         copy of the best seed's network) and the training record.
     """
-    env_counter = [0]
-
-    def env_factory() -> ServiceCoordinationEnv:
-        # Distinct base seeds per copy so the l parallel environments see
-        # different traffic realisations, as in A3C-style training.
-        env_counter[0] += 1
-        return ServiceCoordinationEnv(env_config, seed=env_counter[0])
-
     multi_seed = train_multi_seed(
-        env_factory,
+        CoordinationEnvBuilder(env_config),
         config=training.to_acktr_config(),
         seeds=training.seeds,
         updates_per_seed=training.updates_per_seed,
         eval_episodes=training.eval_episodes,
         algorithm=training.algorithm,
         verbose=verbose,
+        workers=training.workers,
+        timeout=training.seed_timeout,
     )
     coordinator = DistributedCoordinator(
         env_config.network,

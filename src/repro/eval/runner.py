@@ -5,13 +5,22 @@ through the identical simulator on the same traffic realisations; figures
 report mean and standard deviation over evaluation seeds (the paper uses
 30 random seeds; the bench defaults use fewer for laptop-scale runs and
 are configurable).
+
+Evaluation runs are independent across seeds *and* algorithms (each gets
+a fresh policy instance and its own traffic realisation), so both
+:func:`evaluate_policy_on_scenario` and :meth:`AlgorithmSuite.compare`
+fan the per-seed simulations out across worker processes via
+:mod:`repro.parallel`.  Each task is seeded solely by its evaluation
+seed, so parallel results are bit-identical to serial ones; results
+carry a timing report quantifying the fan-out's speedup.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +34,7 @@ from repro.baselines.shortest_path import ShortestPathPolicy
 from repro.core.agent import DistributedCoordinator
 from repro.core.env import CoordinationEnvConfig
 from repro.core.trainer import TrainingConfig, train_coordinator
+from repro.parallel import TimingReport, run_tasks
 from repro.rl.acktr import ACKTRConfig
 from repro.sim.simulator import Simulator
 
@@ -58,12 +68,15 @@ class AlgorithmResult:
             (NaN when no flow succeeded in that run).
         mean_decision_seconds: Per-seed mean wall-clock time per
             coordination decision (Fig. 9b), when timing was requested.
+        timing: Wall-clock accounting of the per-seed fan-out (None for
+            results assembled outside the runner).
     """
 
     name: str
     success_ratios: List[float] = field(default_factory=list)
     avg_delays: List[float] = field(default_factory=list)
     mean_decision_seconds: List[float] = field(default_factory=list)
+    timing: Optional[TimingReport] = None
 
     @property
     def mean_success(self) -> float:
@@ -91,36 +104,95 @@ class AlgorithmResult:
         )
 
 
+@dataclass(frozen=True)
+class _EvalSeedTask:
+    """One simulator run: one algorithm, one traffic realisation."""
+
+    env_config: CoordinationEnvConfig
+    policy_factory: PolicyFactory
+    name: str
+    seed: int
+    time_decisions: bool
+
+
+def _run_eval_seed(task: _EvalSeedTask) -> Tuple[float, float, Optional[float]]:
+    """Simulate one evaluation seed; runs in a worker or in-process.
+
+    Returns ``(success_ratio, avg_delay, mean_decision_seconds)``; the
+    delay is NaN when no flow succeeded, the decision time None unless
+    requested.
+    """
+    policy = task.policy_factory()
+    traffic = task.env_config.traffic_factory(np.random.default_rng(task.seed))
+    sim = Simulator(
+        task.env_config.network,
+        task.env_config.catalog,
+        traffic,
+        task.env_config.sim_config,
+    )
+    metrics = sim.run(policy, time_decisions=task.time_decisions)
+    delay = (
+        metrics.avg_end_to_end_delay
+        if metrics.avg_end_to_end_delay is not None
+        else float("nan")
+    )
+    decision_seconds = sim.mean_decision_seconds if task.time_decisions else None
+    return metrics.success_ratio, delay, decision_seconds
+
+
+def _collect_result(
+    name: str,
+    per_seed: Sequence[Tuple[float, float, Optional[float]]],
+    timing: Optional[TimingReport] = None,
+) -> AlgorithmResult:
+    """Assemble per-seed simulator outputs (in seed order) into a result."""
+    result = AlgorithmResult(name=name, timing=timing)
+    for success_ratio, delay, decision_seconds in per_seed:
+        result.success_ratios.append(success_ratio)
+        result.avg_delays.append(delay)
+        if decision_seconds is not None:
+            result.mean_decision_seconds.append(decision_seconds)
+    return result
+
+
 def evaluate_policy_on_scenario(
     env_config: CoordinationEnvConfig,
     policy_factory: PolicyFactory,
     name: str,
     eval_seeds: Sequence[int] = (0, 1, 2),
     time_decisions: bool = False,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> AlgorithmResult:
     """Run one algorithm over several traffic realisations of a scenario.
 
     Each seed gets a fresh policy instance (heuristics carry per-run state)
     and a fresh traffic realisation; all seeds share the scenario's network
     and capacity assignment, exactly like repeated runs in the paper.
+
+    Seeds run in parallel worker processes when ``workers`` (or
+    ``REPRO_WORKERS``) exceeds 1 and the scenario/policy pickle; results
+    are bit-identical to a serial run either way.
     """
-    result = AlgorithmResult(name=name)
-    for seed in eval_seeds:
-        policy = policy_factory()
-        traffic = env_config.traffic_factory(np.random.default_rng(seed))
-        sim = Simulator(
-            env_config.network, env_config.catalog, traffic, env_config.sim_config
+    tasks = [
+        _EvalSeedTask(
+            env_config=env_config,
+            policy_factory=policy_factory,
+            name=name,
+            seed=seed,
+            time_decisions=time_decisions,
         )
-        metrics = sim.run(policy, time_decisions=time_decisions)
-        result.success_ratios.append(metrics.success_ratio)
-        result.avg_delays.append(
-            metrics.avg_end_to_end_delay
-            if metrics.avg_end_to_end_delay is not None
-            else float("nan")
-        )
-        if time_decisions:
-            result.mean_decision_seconds.append(sim.mean_decision_seconds)
-    return result
+        for seed in eval_seeds
+    ]
+    outcome = run_tasks(
+        _run_eval_seed,
+        tasks,
+        workers=workers,
+        labels=[f"{name}/seed {seed}" for seed in eval_seeds],
+        timeout=timeout,
+        name=f"evaluate[{name}]",
+    )
+    return _collect_result(name, outcome.values, timing=outcome.timing)
 
 
 @dataclass(frozen=True)
@@ -129,6 +201,8 @@ class SuiteConfig:
 
     The defaults are laptop-scale (minutes); raise them toward the paper's
     budget (k=10 seeds, 30 eval seeds, T=20000) for full-fidelity runs.
+    ``workers`` fans both the per-seed training runs and the per-seed
+    evaluations out across processes (None reads ``REPRO_WORKERS``).
     """
 
     train_seeds: Sequence[int] = (0, 1)
@@ -137,6 +211,7 @@ class SuiteConfig:
     eval_seeds: Sequence[int] = (0, 1, 2)
     n_envs: int = 4
     n_steps: int = 32
+    workers: Optional[int] = None
 
 
 @dataclass
@@ -147,6 +222,8 @@ class AlgorithmSuite:
     factories: Dict[str, PolicyFactory]
     coordinator: Optional[DistributedCoordinator] = None
     central: Optional[CentralDRLPolicy] = None
+    #: Timing report of the most recent :meth:`compare` fan-out.
+    last_timing: Optional[TimingReport] = None
 
     def factories_for(
         self, env_config: CoordinationEnvConfig
@@ -166,13 +243,14 @@ class AlgorithmSuite:
         if DISTRIBUTED_DRL in self.factories:
             assert self.coordinator is not None
             trained_policy = next(iter(self.coordinator.agents.values())).policy
-            factories[DISTRIBUTED_DRL] = lambda: DistributedCoordinator(
-                network, catalog, trained_policy
+            factories[DISTRIBUTED_DRL] = partial(
+                DistributedCoordinator, network, catalog, trained_policy
             )
         if CENTRAL_DRL in self.factories:
             assert self.central is not None
             central = self.central
-            factories[CENTRAL_DRL] = lambda: CentralDRLPolicy(
+            factories[CENTRAL_DRL] = partial(
+                CentralDRLPolicy,
                 network,
                 catalog,
                 central.policy,
@@ -180,9 +258,9 @@ class AlgorithmSuite:
                 horizon=env_config.sim_config.horizon,
             )
         if GCASP in self.factories:
-            factories[GCASP] = lambda: GCASPPolicy(network, catalog)
+            factories[GCASP] = partial(GCASPPolicy, network, catalog)
         if SP in self.factories:
-            factories[SP] = lambda: ShortestPathPolicy(network, catalog)
+            factories[SP] = partial(ShortestPathPolicy, network, catalog)
         return factories
 
     def compare(
@@ -191,21 +269,48 @@ class AlgorithmSuite:
         eval_seeds: Sequence[int] = (0, 1, 2),
         time_decisions: bool = False,
         algorithms: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, AlgorithmResult]:
         """Evaluate (a subset of) the suite, optionally on a *different*
-        scenario than it was trained on (generalization experiments)."""
+        scenario than it was trained on (generalization experiments).
+
+        The algorithms × evaluation seeds grid is flattened into one task
+        batch, so a single worker pool covers the whole comparison; the
+        batch's timing report lands in :attr:`last_timing`.
+        """
         env_config = env_config or self.env_config
         factories = self.factories_for(env_config)
         names = algorithms or list(factories)
-        return {
-            name: evaluate_policy_on_scenario(
-                env_config,
-                factories[name],
-                name,
-                eval_seeds=eval_seeds,
+        eval_seeds = list(eval_seeds)
+        tasks = [
+            _EvalSeedTask(
+                env_config=env_config,
+                policy_factory=factories[name],
+                name=name,
+                seed=seed,
                 time_decisions=time_decisions,
             )
             for name in names
+            for seed in eval_seeds
+        ]
+        outcome = run_tasks(
+            _run_eval_seed,
+            tasks,
+            workers=workers,
+            labels=[f"{t.name}/seed {t.seed}" for t in tasks],
+            timeout=timeout,
+            name="compare",
+        )
+        self.last_timing = outcome.timing
+        per_algorithm = len(eval_seeds)
+        return {
+            name: _collect_result(
+                name,
+                outcome.values[i * per_algorithm : (i + 1) * per_algorithm],
+                timing=outcome.timing,
+            )
+            for i, name in enumerate(names)
         }
 
 
@@ -219,7 +324,8 @@ def build_algorithm_suite(
 
     SP and GCASP need no training; the distributed DRL and the central DRL
     are trained on the scenario with the suite's budget (multi-seed with
-    best-agent selection, per Alg. 1).
+    best-agent selection, per Alg. 1).  ``suite.workers`` fans the
+    per-seed training runs out across worker processes.
     """
     network, catalog = env_config.network, env_config.catalog
     factories: Dict[str, PolicyFactory] = {}
@@ -232,6 +338,7 @@ def build_algorithm_suite(
             updates_per_seed=suite.train_updates,
             n_envs=suite.n_envs,
             n_steps=suite.n_steps,
+            workers=suite.workers,
         )
         result = train_coordinator(env_config, training, verbose=verbose)
         coordinator = result.coordinator
@@ -244,12 +351,13 @@ def build_algorithm_suite(
             seeds=tuple(suite.train_seeds),
             updates_per_seed=suite.central_train_updates,
             verbose=verbose,
+            workers=suite.workers,
         )
         factories[CENTRAL_DRL] = central.fresh
     if GCASP in include:
-        factories[GCASP] = lambda: GCASPPolicy(network, catalog)
+        factories[GCASP] = partial(GCASPPolicy, network, catalog)
     if SP in include:
-        factories[SP] = lambda: ShortestPathPolicy(network, catalog)
+        factories[SP] = partial(ShortestPathPolicy, network, catalog)
 
     return AlgorithmSuite(
         env_config=env_config,

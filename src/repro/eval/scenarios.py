@@ -18,7 +18,7 @@ from the per-episode generator the environment supplies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +42,7 @@ from repro.traffic.traces import RateTrace, TraceArrival, synthetic_abilene_trac
 __all__ = [
     "TRAFFIC_PATTERNS",
     "SERVICE_NAME",
+    "ScenarioTrafficFactory",
     "build_network",
     "make_traffic_factory",
     "base_scenario",
@@ -100,6 +101,49 @@ def build_network(
     )
 
 
+@dataclass(frozen=True)
+class ScenarioTrafficFactory:
+    """Per-episode traffic factory for one of the paper's four patterns.
+
+    Invoked once per episode with a fresh generator, so parallel training
+    environments and repeated evaluation runs see independent traffic
+    realisations of the same pattern.  A plain dataclass (not a closure)
+    so scenario configs can be pickled into worker processes by the
+    parallel execution layer.
+    """
+
+    ingress: Tuple[str, ...]
+    pattern: str
+    horizon: float
+    mean_interval: float
+    template: FlowTemplate
+    trace: Optional[RateTrace] = None
+
+    def __call__(self, rng: np.random.Generator) -> Iterable[FlowSpec]:
+        processes: Dict[str, ArrivalProcess] = {}
+        for index, ingress in enumerate(self.ingress):
+            child = rng.integers(2**31)
+            if self.pattern == "fixed":
+                # Stagger ingresses slightly so simultaneous arrivals do
+                # not all collide on the very same event ordering.
+                processes[ingress] = FixedArrival(
+                    self.mean_interval, offset=self.mean_interval + index
+                )
+            elif self.pattern == "poisson":
+                processes[ingress] = PoissonArrival(self.mean_interval, rng=child)
+            elif self.pattern == "mmpp":
+                processes[ingress] = MMPPArrival(
+                    mean_interval_slow=_MMPP_SLOW,
+                    mean_interval_fast=_MMPP_FAST,
+                    switch_interval=_MMPP_SWITCH_INTERVAL,
+                    switch_probability=_MMPP_SWITCH_PROBABILITY,
+                    rng=child,
+                )
+            else:  # trace
+                processes[ingress] = TraceArrival(self.trace, rng=child)
+        return TrafficSource(processes, self.template).flows_until(self.horizon)
+
+
 def make_traffic_factory(
     network: Network,
     pattern: str = "poisson",
@@ -107,12 +151,8 @@ def make_traffic_factory(
     deadline: float = 100.0,
     mean_interval: float = _MEAN_INTERVAL,
     trace: Optional[RateTrace] = None,
-) -> Callable[[np.random.Generator], Iterable[FlowSpec]]:
+) -> ScenarioTrafficFactory:
     """Traffic factory for one of the paper's four arrival patterns.
-
-    The returned callable is invoked once per episode with a fresh
-    generator, so parallel training environments and repeated evaluation
-    runs see independent traffic realisations of the same pattern.
 
     Args:
         network: Supplies the ingress set (one arrival process each).
@@ -138,32 +178,14 @@ def make_traffic_factory(
         service=SERVICE_NAME, egress=egress, data_rate=1.0, duration=1.0,
         deadline=deadline,
     )
-
-    def factory(rng: np.random.Generator) -> Iterable[FlowSpec]:
-        processes: Dict[str, ArrivalProcess] = {}
-        for index, ingress in enumerate(network.ingress):
-            child = rng.integers(2**31)
-            if pattern == "fixed":
-                # Stagger ingresses slightly so simultaneous arrivals do
-                # not all collide on the very same event ordering.
-                processes[ingress] = FixedArrival(
-                    mean_interval, offset=mean_interval + index
-                )
-            elif pattern == "poisson":
-                processes[ingress] = PoissonArrival(mean_interval, rng=child)
-            elif pattern == "mmpp":
-                processes[ingress] = MMPPArrival(
-                    mean_interval_slow=_MMPP_SLOW,
-                    mean_interval_fast=_MMPP_FAST,
-                    switch_interval=_MMPP_SWITCH_INTERVAL,
-                    switch_probability=_MMPP_SWITCH_PROBABILITY,
-                    rng=child,
-                )
-            else:  # trace
-                processes[ingress] = TraceArrival(trace, rng=child)
-        return TrafficSource(processes, template).flows_until(horizon)
-
-    return factory
+    return ScenarioTrafficFactory(
+        ingress=tuple(network.ingress),
+        pattern=pattern,
+        horizon=horizon,
+        mean_interval=mean_interval,
+        template=template,
+        trace=trace,
+    )
 
 
 def base_scenario(

@@ -1,0 +1,284 @@
+"""Process-pool fan-out with deterministic tasks and a serial fallback.
+
+The paper's workload is embarrassingly parallel at two levels: the ``k``
+training seeds of Alg. 1 (line 13) and the 30 evaluation seeds of every
+figure.  :func:`run_tasks` maps a picklable, module-level function over a
+list of picklable task objects across worker processes.
+
+Determinism contract: a task must carry every random seed it uses and
+must not read mutable state shared with other tasks.  Under that
+contract ``workers=N`` is bit-identical to ``workers=1`` — the pool only
+changes *where* a task runs, never what it computes — and results are
+returned in task order regardless of completion order.
+
+Fallbacks: execution degrades to an in-process loop (mode
+``"serial-fallback"`` in the timing report) when the function or any
+task fails to pickle, or when the platform cannot start worker processes
+(e.g. no ``/dev/shm`` semaphores).  ``workers=1`` is plain serial
+execution with no multiprocessing import at all.
+
+Worker failures surface instead of hanging: an exception inside a task
+is re-raised in the parent as :class:`WorkerTaskError` naming the task's
+label (e.g. the failing seed), and a per-task ``timeout`` turns a stuck
+worker into a :class:`WorkerTimeoutError` after terminating the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.parallel.timing import TaskTiming, TimingReport
+
+__all__ = [
+    "ParallelExecutionError",
+    "WorkerTaskError",
+    "WorkerTimeoutError",
+    "ParallelResult",
+    "resolve_workers",
+    "run_tasks",
+]
+
+#: Environment knob: default worker count when callers pass ``workers=None``.
+#: Unset/empty/"1" = serial; "auto"/"0" = one worker per CPU; any other
+#: integer = that many workers (bounded by ``os.cpu_count()``).
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment knob: multiprocessing start method ("fork", "spawn",
+#: "forkserver").  Default: "fork" where available (cheap on Linux),
+#: else "spawn".  The task protocol is spawn-safe either way.
+START_METHOD_ENV = "REPRO_MP_START"
+
+
+class ParallelExecutionError(RuntimeError):
+    """Base class for failures of the parallel execution layer."""
+
+
+class WorkerTaskError(ParallelExecutionError):
+    """A task raised inside a worker process.
+
+    Attributes:
+        label: The failing task's label (typically names the seed).
+    """
+
+    def __init__(self, label: str, cause: BaseException) -> None:
+        super().__init__(
+            f"parallel task {label!r} failed: {type(cause).__name__}: {cause}"
+        )
+        self.label = label
+
+
+class WorkerTimeoutError(ParallelExecutionError):
+    """A task exceeded the per-task timeout; the pool was terminated."""
+
+    def __init__(self, label: str, timeout: float) -> None:
+        super().__init__(
+            f"parallel task {label!r} did not finish within {timeout:.0f}s"
+        )
+        self.label = label
+
+
+@dataclass
+class ParallelResult:
+    """Values (in task order) plus the batch's timing report."""
+
+    values: List[Any]
+    timing: TimingReport
+
+
+def resolve_workers(
+    workers: Optional[int] = None, num_tasks: Optional[int] = None
+) -> int:
+    """Resolve the effective worker count.
+
+    An explicit ``workers`` argument is honoured as given (so tests can
+    exercise the pool even on single-core machines); ``None`` falls back
+    to the ``REPRO_WORKERS`` environment variable, bounded by
+    ``os.cpu_count()``.  The result is never more than ``num_tasks`` and
+    never less than 1.
+    """
+    cpus = os.cpu_count() or 1
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip().lower()
+        if raw in ("", "1"):
+            workers = 1
+        elif raw in ("0", "auto"):
+            workers = cpus
+        else:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV}={raw!r} is not an integer or 'auto'"
+                ) from None
+            workers = min(workers, cpus)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if num_tasks is not None:
+        workers = min(workers, max(num_tasks, 1))
+    return workers
+
+
+def _timed_call(fn: Callable[[Any], Any], task: Any) -> Tuple[Any, float]:
+    """Run one task and report its worker-side wall-clock."""
+    start = time.perf_counter()
+    value = fn(task)
+    return value, time.perf_counter() - start
+
+
+def _pickle_failure(fn: Callable, tasks: Sequence[Any]) -> Optional[str]:
+    """Why (fn, tasks) cannot cross a process boundary, or None if it can."""
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:  # pickle raises many types
+        return f"function {getattr(fn, '__name__', fn)!r} is not picklable ({exc})"
+    for index, task in enumerate(tasks):
+        try:
+            pickle.dumps(task)
+        except Exception as exc:
+            return f"task {index} is not picklable ({exc})"
+    return None
+
+
+def _run_serial(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    labels: Sequence[str],
+    name: str,
+    mode: str,
+    note: str = "",
+) -> ParallelResult:
+    start = time.perf_counter()
+    values: List[Any] = []
+    timings: List[TaskTiming] = []
+    for task, label in zip(tasks, labels):
+        try:
+            value, seconds = _timed_call(fn, task)
+        except Exception as exc:
+            raise WorkerTaskError(label, exc) from exc
+        values.append(value)
+        timings.append(TaskTiming(label=label, seconds=seconds))
+    report = TimingReport(
+        name=name,
+        mode=mode,
+        workers=1,
+        total_seconds=time.perf_counter() - start,
+        tasks=timings,
+        note=note,
+    )
+    return ParallelResult(values=values, timing=report)
+
+
+def _start_method() -> str:
+    import multiprocessing as mp
+
+    preferred = os.environ.get(START_METHOD_ENV, "").strip().lower()
+    available = mp.get_all_start_methods()
+    if preferred:
+        if preferred not in available:
+            raise ValueError(
+                f"{START_METHOD_ENV}={preferred!r} unavailable; "
+                f"choose from {available}"
+            )
+        return preferred
+    return "fork" if "fork" in available else "spawn"
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    workers: Optional[int] = None,
+    labels: Optional[Sequence[str]] = None,
+    timeout: Optional[float] = None,
+    name: str = "tasks",
+) -> ParallelResult:
+    """Map ``fn`` over ``tasks``, fanning out across worker processes.
+
+    Args:
+        fn: Module-level (picklable) single-argument function.
+        tasks: Picklable task objects; each must be self-contained (own
+            seeds, no shared mutable state) for the determinism guarantee.
+        workers: Worker processes; ``None`` reads ``REPRO_WORKERS``
+            (default serial).  ``1`` runs in-process.
+        labels: Per-task labels for error messages and the timing report;
+            defaults to ``task[0..n)``.
+        timeout: Per-task seconds before the batch is aborted with
+            :class:`WorkerTimeoutError`.
+        name: Batch name for the timing report.
+
+    Returns:
+        :class:`ParallelResult` with values in task order and a
+        :class:`~repro.parallel.timing.TimingReport`.
+
+    Raises:
+        WorkerTaskError: A task raised; the error names the task's label.
+        WorkerTimeoutError: A task exceeded ``timeout``.
+    """
+    tasks = list(tasks)
+    if labels is None:
+        labels = [f"task{i}" for i in range(len(tasks))]
+    labels = [str(label) for label in labels]
+    if len(labels) != len(tasks):
+        raise ValueError(f"{len(labels)} labels for {len(tasks)} tasks")
+    workers = resolve_workers(workers, num_tasks=len(tasks))
+    if not tasks:
+        return ParallelResult(
+            values=[],
+            timing=TimingReport(name=name, mode="serial", workers=1, total_seconds=0.0),
+        )
+    if workers <= 1:
+        return _run_serial(fn, tasks, labels, name, mode="serial")
+
+    reason = _pickle_failure(fn, tasks)
+    if reason is not None:
+        return _run_serial(fn, tasks, labels, name, mode="serial-fallback", note=reason)
+
+    try:
+        import multiprocessing as mp
+
+        context = mp.get_context(_start_method())
+        pool = context.Pool(processes=workers)
+    except Exception as exc:  # pragma: no cover - platform-specific
+        return _run_serial(
+            fn,
+            tasks,
+            labels,
+            name,
+            mode="serial-fallback",
+            note=f"could not start worker processes ({exc})",
+        )
+
+    start = time.perf_counter()
+    try:
+        pending = [pool.apply_async(_timed_call, (fn, task)) for task in tasks]
+        pool.close()
+        values: List[Any] = []
+        timings: List[TaskTiming] = []
+        for label, handle in zip(labels, pending):
+            try:
+                value, seconds = handle.get(timeout)
+            except mp.TimeoutError:
+                pool.terminate()
+                raise WorkerTimeoutError(label, timeout or 0.0) from None
+            except ParallelExecutionError:
+                pool.terminate()
+                raise
+            except Exception as exc:
+                pool.terminate()
+                raise WorkerTaskError(label, exc) from exc
+            values.append(value)
+            timings.append(TaskTiming(label=label, seconds=seconds))
+    finally:
+        pool.terminate()
+        pool.join()
+    report = TimingReport(
+        name=name,
+        mode="process-pool",
+        workers=workers,
+        total_seconds=time.perf_counter() - start,
+        tasks=timings,
+    )
+    return ParallelResult(values=values, timing=report)

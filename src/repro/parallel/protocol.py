@@ -1,0 +1,61 @@
+"""Spawn-safe task protocol for per-seed training fan-out.
+
+Serial multi-seed training historically drew environment seeds from one
+shared counter closure: seed ``i``'s trainer consumed calls
+``i*(n_envs+1)+1 .. (i+1)*(n_envs+1)`` (``n_envs`` training envs plus
+one greedy-evaluation env).  A closure over a counter can neither be
+pickled nor restarted at an arbitrary offset, so it cannot fan out.
+
+:class:`EnvBuilder` replaces the closure: a picklable object that maps
+an explicit integer env seed to a fresh environment.  The trainer
+assigns each training seed its historical slice of the counter sequence
+via :class:`CountingEnvFactory`, which makes every per-seed task fully
+self-contained — the precondition for bit-identical serial/parallel
+execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rl.runner import Env
+
+__all__ = ["EnvBuilder", "CountingEnvFactory"]
+
+
+class EnvBuilder:
+    """Picklable environment factory keyed by an explicit integer seed.
+
+    Subclasses must be defined at module level and hold only picklable
+    state (scenario configs, not live simulators), so instances can cross
+    a ``spawn`` process boundary.
+    """
+
+    def build(self, env_seed: int) -> "Env":
+        """Create a fresh environment whose randomness derives only from
+        ``env_seed`` (plus the builder's immutable configuration)."""
+        raise NotImplementedError
+
+
+@dataclass
+class CountingEnvFactory:
+    """Zero-arg env factory replaying one slice of a seed counter.
+
+    Calling the factory ``j`` times yields environments built with seeds
+    ``offset+1 .. offset+j`` — exactly what the historical shared counter
+    produced for the seed that owned that slice.  Each per-seed task gets
+    its own instance, so parallel workers replay disjoint, deterministic
+    slices.
+    """
+
+    builder: EnvBuilder
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        self._calls = 0
+
+    def __call__(self) -> "Env":
+        self._calls += 1
+        return self.builder.build(self.offset + self._calls)

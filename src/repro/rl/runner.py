@@ -81,6 +81,12 @@ class ParallelRunner:
         self._obs = np.stack([env.reset() for env in envs])
         self._episode_rewards = np.zeros(len(envs))
         self._episode_lengths = np.zeros(len(envs), dtype=np.int64)
+        # Per-step bookkeeping, allocated once: collect() fills these in
+        # place every step (the buffer copies on add), so the per-decision
+        # hot path performs no array allocation.
+        self._next_obs = np.empty_like(self._obs)
+        self._rewards = np.zeros(len(envs))
+        self._dones = np.zeros(len(envs))
         #: Completed-episode summaries, drained by the trainer.
         self.finished_episodes: List[EpisodeRecord] = []
 
@@ -92,11 +98,9 @@ class ParallelRunner:
         recorded in :attr:`finished_episodes` and their env auto-reset.
         """
         buffer.reset()
+        next_obs, rewards, dones = self._next_obs, self._rewards, self._dones
         for _ in range(self.n_steps):
             actions, values, _ = self.policy.act(self._obs, self.rng)
-            next_obs = np.empty_like(self._obs)
-            rewards = np.zeros(len(self.envs))
-            dones = np.zeros(len(self.envs))
             for i, env in enumerate(self.envs):
                 obs, reward, done, info = env.step(int(actions[i]))
                 self._episode_rewards[i] += reward
@@ -116,7 +120,10 @@ class ParallelRunner:
                 rewards[i] = reward
                 dones[i] = float(done)
             buffer.add(self._obs, actions, rewards, dones, values)
-            self._obs = next_obs
+            # The buffer copied everything, so the observation buffers can
+            # be swapped instead of reallocated.
+            self._obs, next_obs = next_obs, self._obs
+        self._next_obs, self._rewards, self._dones = next_obs, rewards, dones
         return self.policy.values(self._obs)
 
     def drain_episodes(self) -> List[EpisodeRecord]:

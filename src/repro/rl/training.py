@@ -3,15 +3,29 @@
 Random seeds have a significant impact on DRL convergence [43], so the
 paper trains ``k`` agents with different seeds and automatically selects
 the one with the highest reward for online inference.
+
+The ``k`` per-seed runs are independent, so :func:`train_multi_seed` can
+fan them out across worker processes (``workers`` argument or the
+``REPRO_WORKERS`` environment variable).  When the environment factory is
+a picklable :class:`~repro.parallel.protocol.EnvBuilder`, each seed's
+task is fully self-contained and parallel results are bit-identical to
+serial ones; legacy zero-arg factories (closures over shared counters)
+always run serially because their call order cannot be replayed per seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Type
+from typing import Callable, Dict, List, Optional, Sequence, Type, Union
 
 import numpy as np
 
+from repro.parallel import (
+    CountingEnvFactory,
+    EnvBuilder,
+    TimingReport,
+    run_tasks,
+)
 from repro.rl.a2c import A2CConfig, A2CTrainer
 from repro.rl.acktr import ACKTRConfig, ACKTRTrainer
 from repro.rl.policy import ActorCriticPolicy
@@ -36,6 +50,9 @@ class MultiSeedResult:
 
     results: List[SeedResult]
     best: SeedResult
+    #: Wall-clock accounting of the per-seed fan-out (None for results
+    #: predating the parallel execution layer).
+    timing: Optional[TimingReport] = None
 
     @property
     def best_policy(self) -> ActorCriticPolicy:
@@ -76,57 +93,121 @@ def evaluate_policy(
     return out
 
 
+@dataclass(frozen=True)
+class _SeedTask:
+    """Everything one worker needs to train and evaluate one seed."""
+
+    env_factory: Callable[[], Env]
+    config: A2CConfig
+    algorithm: str
+    seed: int
+    updates: int
+    eval_episodes: int
+
+
+def _run_seed_task(task: _SeedTask) -> SeedResult:
+    """Train one seed; runs in a worker process or in-process (serial)."""
+    trainer_cls = ACKTRTrainer if task.algorithm == "acktr" else A2CTrainer
+    trainer = trainer_cls(task.env_factory, task.config, seed=task.seed)
+    trainer.train(task.updates)
+    evaluation = evaluate_policy(
+        trainer.policy,
+        task.env_factory(),
+        episodes=task.eval_episodes,
+        rng=np.random.default_rng(task.seed),
+    )
+    return SeedResult(
+        seed=task.seed,
+        policy=trainer.policy,
+        mean_episode_reward=evaluation["mean_episode_reward"],
+        episodes=len(trainer.episode_history),
+    )
+
+
 def train_multi_seed(
-    env_factory: Callable[[], Env],
+    env_factory: Union[Callable[[], Env], EnvBuilder],
     config: A2CConfig = ACKTRConfig(),
     seeds: Sequence[int] = tuple(range(10)),
     updates_per_seed: int = 50,
     eval_episodes: int = 1,
     algorithm: str = "acktr",
     verbose: bool = False,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> MultiSeedResult:
     """Train ``len(seeds)`` agents and select the best (Alg. 1, line 13).
 
     Args:
         env_factory: Creates fresh environment copies (used for both
-            training and evaluation).
+            training and evaluation).  Pass an
+            :class:`~repro.parallel.protocol.EnvBuilder` to allow the
+            per-seed runs to fan out across processes; a plain zero-arg
+            callable still works but forces serial execution.
         config: Trainer hyperparameters (k seeds x l parallel envs).
         seeds: Training seeds (paper: k = 10).
         updates_per_seed: Gradient updates per seed.
         eval_episodes: Greedy evaluation episodes for agent selection.
         algorithm: ``"acktr"`` (paper) or ``"a2c"`` (ablation).
         verbose: Print one line per seed.
+        workers: Worker processes for the per-seed fan-out (default:
+            ``REPRO_WORKERS``, serial when unset).
+        timeout: Per-seed wall-clock limit in seconds (parallel mode).
 
     Returns:
-        Per-seed results and the best agent by greedy evaluation reward.
+        Per-seed results and the best agent by greedy evaluation reward,
+        plus a timing report of the fan-out.
     """
     if algorithm not in ("acktr", "a2c"):
         raise ValueError(f"unknown algorithm {algorithm!r}; use 'acktr' or 'a2c'")
-    trainer_cls = ACKTRTrainer if algorithm == "acktr" else A2CTrainer
     if algorithm == "acktr" and not isinstance(config, ACKTRConfig):
         config = ACKTRConfig(**config.__dict__)
+    seeds = list(seeds)
 
-    results: List[SeedResult] = []
-    for seed in seeds:
-        trainer = trainer_cls(env_factory, config, seed=seed)
-        trainer.train(updates_per_seed)
-        evaluation = evaluate_policy(
-            trainer.policy,
-            env_factory(),
-            episodes=eval_episodes,
-            rng=np.random.default_rng(seed),
+    # Each seed's trainer makes n_envs factory calls plus one for the
+    # greedy evaluation env; an EnvBuilder lets every seed replay its own
+    # slice of that call sequence independently of the others.
+    distributable = isinstance(env_factory, EnvBuilder)
+    calls_per_seed = config.n_envs + 1
+    tasks: List[_SeedTask] = []
+    for index, seed in enumerate(seeds):
+        if distributable:
+            factory: Callable[[], Env] = CountingEnvFactory(
+                env_factory, offset=index * calls_per_seed
+            )
+        else:
+            factory = env_factory
+        tasks.append(
+            _SeedTask(
+                env_factory=factory,
+                config=config,
+                algorithm=algorithm,
+                seed=seed,
+                updates=updates_per_seed,
+                eval_episodes=eval_episodes,
+            )
         )
-        result = SeedResult(
-            seed=seed,
-            policy=trainer.policy,
-            mean_episode_reward=evaluation["mean_episode_reward"],
-            episodes=len(trainer.episode_history),
+
+    outcome = run_tasks(
+        _run_seed_task,
+        tasks,
+        workers=1 if not distributable else workers,
+        labels=[f"seed {seed}" for seed in seeds],
+        timeout=timeout,
+        name=f"train[{algorithm}]",
+    )
+    if not distributable and workers not in (None, 1):
+        outcome.timing.mode = "serial-fallback"
+        outcome.timing.note = (
+            "env_factory is a zero-arg callable; pass a repro.parallel.EnvBuilder "
+            "to fan training seeds out across processes"
         )
-        results.append(result)
-        if verbose:
+
+    results: List[SeedResult] = outcome.values
+    if verbose:
+        for result in results:
             print(
-                f"seed {seed}: eval_reward={result.mean_episode_reward:.1f} "
+                f"seed {result.seed}: eval_reward={result.mean_episode_reward:.1f} "
                 f"episodes={result.episodes}"
             )
     best = max(results, key=lambda r: r.mean_episode_reward)
-    return MultiSeedResult(results=results, best=best)
+    return MultiSeedResult(results=results, best=best, timing=outcome.timing)
