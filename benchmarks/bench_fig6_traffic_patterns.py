@@ -24,12 +24,13 @@ from _config import SCALE, suite_config
 from repro.eval.runner import ALL_ALGORITHMS, DISTRIBUTED_DRL, SP, build_algorithm_suite
 from repro.eval.scenarios import base_scenario
 from repro.eval.tables import SweepTable
+from repro.telemetry import PhaseTimer
 
 #: Evaluation seeds are offset from training seeds so test traffic is fresh.
 EVAL_SEED_OFFSET = 1000
 
 
-def _run_pattern_sweep(pattern: str) -> SweepTable:
+def _run_pattern_sweep(pattern: str, timer: PhaseTimer) -> SweepTable:
     table = SweepTable(
         title=f"Fig. 6 ({pattern}): success ratio vs. number of ingresses",
         parameter_name="#ingress",
@@ -42,10 +43,12 @@ def _run_pattern_sweep(pattern: str) -> SweepTable:
             horizon=SCALE.horizon,
             capacity_seed=0,
         )
-        suite = build_algorithm_suite(scenario, suite_config())
-        results = suite.compare(
-            eval_seeds=[EVAL_SEED_OFFSET + s for s in SCALE.eval_seeds]
-        )
+        with timer.phase(f"train[{num_ingress} ingress]"):
+            suite = build_algorithm_suite(scenario, suite_config())
+        with timer.phase(f"compare[{num_ingress} ingress]"):
+            results = suite.compare(
+                eval_seeds=[EVAL_SEED_OFFSET + s for s in SCALE.eval_seeds]
+            )
         for name in ALL_ALGORITHMS:
             table.add_result(results[name])
     return table
@@ -72,11 +75,14 @@ def _check_shape(table: SweepTable) -> None:
     ],
 )
 def test_fig6_traffic_pattern(pattern, benchmark, bench_report):
+    timer = PhaseTimer()
     table = benchmark.pedantic(
-        _run_pattern_sweep, args=(pattern,), rounds=1, iterations=1
+        _run_pattern_sweep, args=(pattern, timer), rounds=1, iterations=1
     )
+    bench_report.add_phases(f"fig6_{pattern}", timer.to_dict())
     rendered = table.render()
     bench_report.append(rendered)
     print()
     print(rendered)
+    print(timer.render())
     _check_shape(table)

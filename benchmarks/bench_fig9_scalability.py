@@ -27,6 +27,7 @@ from repro.eval.runner import (
 )
 from repro.eval.scenarios import base_scenario
 from repro.eval.tables import SweepTable
+from repro.telemetry import PhaseTimer
 
 EVAL_SEED_OFFSET = 1000
 
@@ -35,7 +36,7 @@ def _eval_seeds():
     return [EVAL_SEED_OFFSET + s for s in SCALE.eval_seeds]
 
 
-def _run_scalability():
+def _run_scalability(timer: PhaseTimer):
     success = SweepTable(
         title="Fig. 9a: success ratio on large real-world topologies",
         parameter_name="network",
@@ -54,8 +55,10 @@ def _run_scalability():
             horizon=SCALE.horizon,
             capacity_seed=0,
         )
-        suite = build_algorithm_suite(scenario, suite_config())
-        results = suite.compare(eval_seeds=_eval_seeds(), time_decisions=True)
+        with timer.phase(f"train[{topology}]"):
+            suite = build_algorithm_suite(scenario, suite_config())
+        with timer.phase(f"compare[{topology}]"):
+            results = suite.compare(eval_seeds=_eval_seeds(), time_decisions=True)
         for name in ALL_ALGORITHMS:
             success.add_result(results[name])
         timing.add(DISTRIBUTED_DRL, results[DISTRIBUTED_DRL].mean_decision_ms)
@@ -64,15 +67,20 @@ def _run_scalability():
         central = suite.central
         assert central is not None
         fresh = central.fresh()
-        evaluate_policy_on_scenario(
-            scenario, lambda: fresh, CENTRAL_DRL, eval_seeds=_eval_seeds()[:1]
-        )
+        with timer.phase(f"central_refresh[{topology}]"):
+            evaluate_policy_on_scenario(
+                scenario, lambda: fresh, CENTRAL_DRL, eval_seeds=_eval_seeds()[:1]
+            )
         timing.add(CENTRAL_DRL, fresh.mean_rule_update_seconds * 1000.0)
     return success, timing
 
 
 def test_fig9_scalability(benchmark, bench_report):
-    success, timing = benchmark.pedantic(_run_scalability, rounds=1, iterations=1)
+    timer = PhaseTimer()
+    success, timing = benchmark.pedantic(
+        _run_scalability, args=(timer,), rounds=1, iterations=1
+    )
+    bench_report.add_phases("fig9_scalability", timer.to_dict())
     rendered = success.render()
     bench_report.append(rendered)
     print()
@@ -81,6 +89,7 @@ def test_fig9_scalability(benchmark, bench_report):
     bench_report.append(rendered)
     print()
     print(rendered)
+    print(timer.render())
 
     # Distributed inference time must be invariant to network size: the
     # largest network may not cost more than a few x the smallest.

@@ -7,6 +7,8 @@ Gives downstream users the full pipeline without writing Python::
     python -m repro evaluate --policy policy.npz --pattern mmpp
     python -m repro evaluate --algorithm sp --pattern poisson
     python -m repro compare --pattern poisson --ingress 3
+    python -m repro train ... --telemetry runs/exp1   # structured JSONL
+    python -m repro telemetry summarize runs/exp1     # render run report
 
 All scenario knobs mirror :func:`repro.eval.scenarios.base_scenario`
 (topology, traffic pattern, number of ingresses, deadline, horizon,
@@ -29,6 +31,26 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for per-seed fan-out "
                              "(default: $REPRO_WORKERS, else serial)")
+
+
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="write a run manifest + structured JSONL metric "
+                             "stream into DIR (see 'repro telemetry summarize')")
+
+
+def _start_telemetry(args: argparse.Namespace, name: str, seeds=()):
+    """Open a telemetry run for a command, or None when not requested."""
+    if getattr(args, "telemetry", None) is None:
+        return None
+    from repro.telemetry import start_run
+
+    config = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in ("telemetry", "command") and value is not None
+    }
+    return start_run(args.telemetry, name=name, config=config, seeds=seeds)
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
@@ -82,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--algorithm", default="acktr", choices=["acktr", "a2c"])
     train.add_argument("--quiet", action="store_true")
     _add_workers_arg(train)
+    _add_telemetry_arg(train)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a policy on a scenario")
     _add_scenario_args(evaluate)
@@ -92,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--eval-seeds", type=int, default=3,
                           help="number of traffic realisations")
     _add_workers_arg(evaluate)
+    _add_telemetry_arg(evaluate)
 
     compare = sub.add_parser("compare", help="train + compare all four algorithms")
     _add_scenario_args(compare)
@@ -99,6 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seeds", type=int, default=2)
     compare.add_argument("--eval-seeds", type=int, default=3)
     _add_workers_arg(compare)
+    _add_telemetry_arg(compare)
+
+    telemetry = sub.add_parser(
+        "telemetry", help="inspect structured telemetry from a previous run"
+    )
+    telemetry_sub = telemetry.add_subparsers(dest="telemetry_command", required=True)
+    summarize = telemetry_sub.add_parser(
+        "summarize", help="render a human-readable report of a telemetry run"
+    )
+    summarize.add_argument("directory",
+                           help="run directory (holds manifest.json + metrics.jsonl)")
     return parser
 
 
@@ -121,6 +156,7 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.core.trainer import TrainingConfig, train_coordinator
+    from repro.telemetry import NULL_RECORDER
 
     scenario = _scenario_from_args(args)
     config = TrainingConfig(
@@ -133,11 +169,21 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if not args.quiet:
         print(f"Training on {args.topology} / {args.pattern} / "
               f"{args.ingress} ingress ({args.seeds} seeds x {args.updates} updates)")
-    result = train_coordinator(scenario, config, verbose=not args.quiet)
+    run = _start_telemetry(args, "train", seeds=config.seeds)
+    try:
+        result = train_coordinator(
+            scenario, config, verbose=not args.quiet,
+            recorder=run.recorder if run else NULL_RECORDER,
+        )
+    finally:
+        if run is not None:
+            run.close()
     result.multi_seed.best_policy.save(args.output)
     if not args.quiet and result.multi_seed.timing is not None:
         print(result.multi_seed.timing.render())
     print(f"Saved best policy (seed {result.best_seed}) to {args.output}")
+    if run is not None:
+        print(f"Telemetry written to {run.directory}")
     return 0
 
 
@@ -164,24 +210,37 @@ def _build_policy(args: argparse.Namespace, scenario):
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.eval.runner import evaluate_policy_on_scenario
+    from repro.telemetry import NULL_RECORDER
 
     scenario = _scenario_from_args(args)
     factory = _build_policy(args, scenario)
     name = args.policy or args.algorithm
-    result = evaluate_policy_on_scenario(
-        scenario, factory, name,
-        eval_seeds=range(args.eval_seeds), time_decisions=True,
-        workers=args.workers,
-    )
+    eval_seeds = range(args.eval_seeds)
+    run = _start_telemetry(args, "evaluate", seeds=eval_seeds)
+    try:
+        result = evaluate_policy_on_scenario(
+            scenario, factory, name,
+            eval_seeds=eval_seeds, time_decisions=True,
+            workers=args.workers,
+            recorder=run.recorder if run else NULL_RECORDER,
+        )
+    finally:
+        if run is not None:
+            run.close()
     print(result.summary())
     print(f"mean decision time: {result.mean_decision_ms:.3f} ms")
     if result.timing is not None:
         print(result.timing.render())
+    if run is not None:
+        print(f"Telemetry written to {run.directory}")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    import math
+
     from repro.eval.runner import ALL_ALGORITHMS, SuiteConfig, build_algorithm_suite
+    from repro.telemetry import NULL_RECORDER
 
     scenario = _scenario_from_args(args)
     suite = build_algorithm_suite(
@@ -193,16 +252,36 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             workers=args.workers,
         ),
     )
-    results = suite.compare(
-        eval_seeds=range(1000, 1000 + args.eval_seeds), workers=args.workers
-    )
+    eval_seeds = range(1000, 1000 + args.eval_seeds)
+    run = _start_telemetry(args, "compare", seeds=eval_seeds)
+    try:
+        results = suite.compare(
+            eval_seeds=eval_seeds, workers=args.workers,
+            recorder=run.recorder if run else NULL_RECORDER,
+        )
+    finally:
+        if run is not None:
+            run.close()
+
+    def fmt(value: float, spec: str) -> str:
+        return "n/a" if math.isnan(value) else format(value, spec)
+
     print(f"{'algorithm':<18} {'success':>14} {'avg delay':>10}")
     for name in ALL_ALGORITHMS:
         r = results[name]
-        print(f"{name:<18} {r.mean_success:>8.3f}±{r.std_success:.3f} "
-              f"{r.mean_delay:>10.1f}")
+        success = f"{fmt(r.mean_success, '.3f')}±{fmt(r.std_success, '.3f')}"
+        print(f"{name:<18} {success:>14} {fmt(r.mean_delay, '.1f'):>10}")
     if suite.last_timing is not None:
         print(suite.last_timing.render())
+    if run is not None:
+        print(f"Telemetry written to {run.directory}")
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.telemetry import summarize_run
+
+    print(summarize_run(args.directory))
     return 0
 
 
@@ -213,6 +292,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
         "compare": _cmd_compare,
+        "telemetry": _cmd_telemetry,
     }
     return handlers[args.command](args)
 

@@ -17,6 +17,7 @@ from repro.core.env import CoordinationEnvConfig, ServiceCoordinationEnv
 from repro.parallel import EnvBuilder
 from repro.rl.acktr import ACKTRConfig
 from repro.rl.training import MultiSeedResult, train_multi_seed
+from repro.telemetry import NULL_RECORDER, Recorder
 
 __all__ = [
     "CoordinationEnvBuilder",
@@ -117,6 +118,7 @@ def train_coordinator(
     env_config: CoordinationEnvConfig,
     training: TrainingConfig = TrainingConfig(),
     verbose: bool = False,
+    recorder: Recorder = NULL_RECORDER,
 ) -> TrainingResult:
     """Centralized training + distributed deployment (Alg. 1).
 
@@ -124,6 +126,8 @@ def train_coordinator(
         env_config: The scenario to train on.
         training: Hyperparameters; defaults match the paper.
         verbose: Print per-seed summaries.
+        recorder: Telemetry sink for per-update/per-seed training records
+            (see :mod:`repro.telemetry`; no-op default).
 
     Returns:
         The deployed distributed coordinator (one agent per node holding a
@@ -139,6 +143,7 @@ def train_coordinator(
         verbose=verbose,
         workers=training.workers,
         timeout=training.seed_timeout,
+        recorder=recorder,
     )
     coordinator = DistributedCoordinator(
         env_config.network,

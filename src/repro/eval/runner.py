@@ -37,6 +37,7 @@ from repro.core.trainer import TrainingConfig, train_coordinator
 from repro.parallel import TimingReport, run_tasks
 from repro.rl.acktr import ACKTRConfig
 from repro.sim.simulator import Simulator
+from repro.telemetry import NULL_RECORDER, Recorder
 
 __all__ = [
     "AlgorithmResult",
@@ -66,6 +67,11 @@ class AlgorithmResult:
         success_ratios: Per-evaluation-seed objective ``o_f``.
         avg_delays: Per-seed mean end-to-end delay of successful flows
             (NaN when no flow succeeded in that run).
+        delay_weights: Per-seed successful-flow counts, aligned with
+            ``avg_delays``; :attr:`mean_delay` weights each seed by it so
+            a seed with 3 surviving flows cannot pull the aggregate as
+            hard as one with 300.  Empty for results assembled outside
+            the runner, in which case the mean falls back to unweighted.
         mean_decision_seconds: Per-seed mean wall-clock time per
             coordination decision (Fig. 9b), when timing was requested.
         timing: Wall-clock accounting of the per-seed fan-out (None for
@@ -75,21 +81,51 @@ class AlgorithmResult:
     name: str
     success_ratios: List[float] = field(default_factory=list)
     avg_delays: List[float] = field(default_factory=list)
+    delay_weights: List[float] = field(default_factory=list)
     mean_decision_seconds: List[float] = field(default_factory=list)
     timing: Optional[TimingReport] = None
 
     @property
     def mean_success(self) -> float:
-        return float(np.mean(self.success_ratios)) if self.success_ratios else 0.0
+        """Mean ``o_f`` over seeds; NaN when no seed was evaluated.
+
+        An empty result must not masquerade as "every flow dropped"
+        (0.0), so — like :attr:`mean_delay` — the empty aggregate is NaN.
+        """
+        return float(np.mean(self.success_ratios)) if self.success_ratios else float("nan")
 
     @property
     def std_success(self) -> float:
-        return float(np.std(self.success_ratios)) if self.success_ratios else 0.0
+        return float(np.std(self.success_ratios)) if self.success_ratios else float("nan")
 
     @property
     def mean_delay(self) -> float:
-        finite = [d for d in self.avg_delays if not math.isnan(d)]
-        return float(np.mean(finite)) if finite else float("nan")
+        """Successful-flow-weighted mean delay over seeds (NaN if none).
+
+        Seeds where no flow succeeded (NaN delay) carry zero weight;
+        :attr:`excluded_delay_seeds` counts them.  Without
+        ``delay_weights`` (hand-assembled results) the mean is
+        unweighted over the non-NaN seeds.
+        """
+        weights = (
+            self.delay_weights
+            if len(self.delay_weights) == len(self.avg_delays)
+            else [1.0] * len(self.avg_delays)
+        )
+        pairs = [
+            (d, w)
+            for d, w in zip(self.avg_delays, weights)
+            if not math.isnan(d) and w > 0
+        ]
+        total = sum(w for _, w in pairs)
+        if not pairs or total <= 0:
+            return float("nan")
+        return float(sum(d * w for d, w in pairs) / total)
+
+    @property
+    def excluded_delay_seeds(self) -> int:
+        """Seeds contributing nothing to :attr:`mean_delay` (NaN delay)."""
+        return sum(1 for d in self.avg_delays if math.isnan(d))
 
     @property
     def mean_decision_ms(self) -> float:
@@ -98,9 +134,13 @@ class AlgorithmResult:
         return float(np.mean(self.mean_decision_seconds)) * 1000.0
 
     def summary(self) -> str:
+        def fmt(value: float, spec: str) -> str:
+            return "n/a" if math.isnan(value) else format(value, spec)
+
         return (
-            f"{self.name}: success={self.mean_success:.3f}±{self.std_success:.3f} "
-            f"delay={self.mean_delay:.1f}"
+            f"{self.name}: success={fmt(self.mean_success, '.3f')}"
+            f"±{fmt(self.std_success, '.3f')} "
+            f"delay={fmt(self.mean_delay, '.1f')}"
         )
 
 
@@ -113,13 +153,18 @@ class _EvalSeedTask:
     name: str
     seed: int
     time_decisions: bool
+    #: Worker-local telemetry stream (merged in task order afterwards).
+    recorder: Recorder = NULL_RECORDER
 
 
-def _run_eval_seed(task: _EvalSeedTask) -> Tuple[float, float, Optional[float]]:
+def _run_eval_seed(
+    task: _EvalSeedTask,
+) -> Tuple[float, float, int, Optional[float]]:
     """Simulate one evaluation seed; runs in a worker or in-process.
 
-    Returns ``(success_ratio, avg_delay, mean_decision_seconds)``; the
-    delay is NaN when no flow succeeded, the decision time None unless
+    Returns ``(success_ratio, avg_delay, flows_succeeded,
+    mean_decision_seconds)``; the delay is NaN when no flow succeeded
+    (in which case the count is 0), the decision time None unless
     requested.
     """
     policy = task.policy_factory()
@@ -130,28 +175,48 @@ def _run_eval_seed(task: _EvalSeedTask) -> Tuple[float, float, Optional[float]]:
         traffic,
         task.env_config.sim_config,
     )
-    metrics = sim.run(policy, time_decisions=task.time_decisions)
+    metrics = sim.run(
+        policy, time_decisions=task.time_decisions, recorder=task.recorder
+    )
+    if task.recorder.enabled:
+        task.recorder.close()
     delay = (
         metrics.avg_end_to_end_delay
         if metrics.avg_end_to_end_delay is not None
         else float("nan")
     )
     decision_seconds = sim.mean_decision_seconds if task.time_decisions else None
-    return metrics.success_ratio, delay, decision_seconds
+    return metrics.success_ratio, delay, metrics.flows_succeeded, decision_seconds
 
 
 def _collect_result(
     name: str,
-    per_seed: Sequence[Tuple[float, float, Optional[float]]],
+    per_seed: Sequence[Tuple[float, float, int, Optional[float]]],
     timing: Optional[TimingReport] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> AlgorithmResult:
-    """Assemble per-seed simulator outputs (in seed order) into a result."""
+    """Assemble per-seed simulator outputs (in seed order) into a result.
+
+    When the recorder is enabled, one ``eval_aggregate`` record logs the
+    weighted aggregation — in particular how many seeds were excluded
+    from the delay mean because no flow survived in them.
+    """
     result = AlgorithmResult(name=name, timing=timing)
-    for success_ratio, delay, decision_seconds in per_seed:
+    for success_ratio, delay, flows_succeeded, decision_seconds in per_seed:
         result.success_ratios.append(success_ratio)
         result.avg_delays.append(delay)
+        result.delay_weights.append(float(flows_succeeded))
         if decision_seconds is not None:
             result.mean_decision_seconds.append(decision_seconds)
+    if recorder.enabled:
+        recorder.emit(
+            "eval_aggregate",
+            name=name,
+            seeds=len(result.success_ratios),
+            mean_success=result.mean_success,
+            mean_delay=result.mean_delay,
+            delay_seeds_excluded=result.excluded_delay_seeds,
+        )
     return result
 
 
@@ -163,6 +228,7 @@ def evaluate_policy_on_scenario(
     time_decisions: bool = False,
     workers: Optional[int] = None,
     timeout: Optional[float] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> AlgorithmResult:
     """Run one algorithm over several traffic realisations of a scenario.
 
@@ -172,8 +238,14 @@ def evaluate_policy_on_scenario(
 
     Seeds run in parallel worker processes when ``workers`` (or
     ``REPRO_WORKERS``) exceeds 1 and the scenario/policy pickle; results
-    are bit-identical to a serial run either way.
+    are bit-identical to a serial run either way.  An enabled
+    ``recorder`` streams one ``sim_run`` record per seed (merged in seed
+    order), fan-out timing, and the final ``eval_aggregate``.
     """
+    labels = [f"{name}/seed {seed}" for seed in eval_seeds]
+    task_recorders = (
+        [recorder.for_task(label) for label in labels] if recorder.enabled else None
+    )
     tasks = [
         _EvalSeedTask(
             env_config=env_config,
@@ -181,18 +253,25 @@ def evaluate_policy_on_scenario(
             name=name,
             seed=seed,
             time_decisions=time_decisions,
+            recorder=(
+                task_recorders[index] if task_recorders else NULL_RECORDER
+            ),
         )
-        for seed in eval_seeds
+        for index, seed in enumerate(eval_seeds)
     ]
     outcome = run_tasks(
         _run_eval_seed,
         tasks,
         workers=workers,
-        labels=[f"{name}/seed {seed}" for seed in eval_seeds],
+        labels=labels,
         timeout=timeout,
         name=f"evaluate[{name}]",
+        recorder=recorder,
+        task_recorders=task_recorders,
     )
-    return _collect_result(name, outcome.values, timing=outcome.timing)
+    return _collect_result(
+        name, outcome.values, timing=outcome.timing, recorder=recorder
+    )
 
 
 @dataclass(frozen=True)
@@ -271,18 +350,28 @@ class AlgorithmSuite:
         algorithms: Optional[Sequence[str]] = None,
         workers: Optional[int] = None,
         timeout: Optional[float] = None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> Dict[str, AlgorithmResult]:
         """Evaluate (a subset of) the suite, optionally on a *different*
         scenario than it was trained on (generalization experiments).
 
         The algorithms × evaluation seeds grid is flattened into one task
         batch, so a single worker pool covers the whole comparison; the
-        batch's timing report lands in :attr:`last_timing`.
+        batch's timing report lands in :attr:`last_timing`.  An enabled
+        ``recorder`` streams per-seed ``sim_run`` records (merged in grid
+        order) plus one ``eval_aggregate`` per algorithm.
         """
         env_config = env_config or self.env_config
         factories = self.factories_for(env_config)
         names = algorithms or list(factories)
         eval_seeds = list(eval_seeds)
+        grid = [(name, seed) for name in names for seed in eval_seeds]
+        labels = [f"{name}/seed {seed}" for name, seed in grid]
+        task_recorders = (
+            [recorder.for_task(label) for label in labels]
+            if recorder.enabled
+            else None
+        )
         tasks = [
             _EvalSeedTask(
                 env_config=env_config,
@@ -290,17 +379,21 @@ class AlgorithmSuite:
                 name=name,
                 seed=seed,
                 time_decisions=time_decisions,
+                recorder=(
+                    task_recorders[index] if task_recorders else NULL_RECORDER
+                ),
             )
-            for name in names
-            for seed in eval_seeds
+            for index, (name, seed) in enumerate(grid)
         ]
         outcome = run_tasks(
             _run_eval_seed,
             tasks,
             workers=workers,
-            labels=[f"{t.name}/seed {t.seed}" for t in tasks],
+            labels=labels,
             timeout=timeout,
             name="compare",
+            recorder=recorder,
+            task_recorders=task_recorders,
         )
         self.last_timing = outcome.timing
         per_algorithm = len(eval_seeds)
@@ -309,6 +402,7 @@ class AlgorithmSuite:
                 name,
                 outcome.values[i * per_algorithm : (i + 1) * per_algorithm],
                 timing=outcome.timing,
+                recorder=recorder,
             )
             for i, name in enumerate(names)
         }

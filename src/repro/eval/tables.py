@@ -7,6 +7,7 @@ reproduction is inspectable without a plotting stack.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -43,13 +44,20 @@ class SweepTable:
         return [mean for mean, _ in self.rows[algorithm]]
 
     def render(self, cell_format: str = "{mean:.3f}±{std:.3f}") -> str:
-        """Render as a fixed-width ASCII table."""
+        """Render as a fixed-width ASCII table.
+
+        Empty aggregates (NaN mean, e.g. an algorithm evaluated on zero
+        seeds) render as ``n/a`` rather than ``nan±nan``.
+        """
         header = [self.parameter_name] + [str(v) for v in self.parameter_values]
         lines: List[List[str]] = [header]
         for algorithm, cells in self.rows.items():
             row = [algorithm]
             for mean, std in cells:
-                row.append(cell_format.format(mean=mean, std=std))
+                if math.isnan(mean):
+                    row.append("n/a")
+                else:
+                    row.append(cell_format.format(mean=mean, std=std))
             row.extend([""] * (len(header) - len(row)))
             lines.append(row)
         widths = [

@@ -82,6 +82,12 @@ class KFAC:
         self._G_inv: List[Optional[np.ndarray]] = [None] * len(layers)
         self._steps = 0
         self._stat_updates = 0
+        #: Trust-region rescale of the most recent :meth:`step` (1.0 when
+        #: the raw natural-gradient step already satisfied the KL bound).
+        self.last_scale: float = 1.0
+        #: Predicted KL ``½ Δθᵀ F Δθ`` of the most recently *applied*
+        #: (rescaled) step; ≤ ``kl_clip`` by construction.
+        self.last_predicted_kl: float = 0.0
 
     # ------------------------------------------------------------------
 
@@ -155,6 +161,8 @@ class KFAC:
             quad += float(np.sum(u * (a @ u @ g)))
         quad = max(quad, 1e-12)
         scale = min(1.0, np.sqrt(2.0 * self.kl_clip / (self.lr**2 * quad)))
+        self.last_scale = float(scale)
+        self.last_predicted_kl = float(0.5 * (self.lr * scale) ** 2 * quad)
 
         for weight, update in zip(self.model.parameters, updates):
             weight -= self.lr * scale * update

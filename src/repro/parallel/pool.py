@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.parallel.timing import TaskTiming, TimingReport
+from repro.telemetry import NULL_RECORDER, Recorder
 
 __all__ = [
     "ParallelExecutionError",
@@ -187,6 +188,40 @@ def _start_method() -> str:
     return "fork" if "fork" in available else "spawn"
 
 
+def _finish_batch(
+    result: ParallelResult,
+    recorder: Recorder,
+    task_recorders: Optional[Sequence[Recorder]],
+) -> ParallelResult:
+    """Merge worker-local telemetry streams and emit the batch's timing.
+
+    Worker-local files are absorbed in *task order* (not completion
+    order), so the merged stream is identical for serial and parallel
+    execution of the same tasks.
+    """
+    if task_recorders is not None:
+        for child in task_recorders:
+            recorder.absorb(child)
+    if recorder.enabled:
+        report = result.timing
+        for task in report.tasks:
+            recorder.emit(
+                "task_timing", label=task.label, seconds=task.seconds,
+                batch=report.name,
+            )
+        recorder.emit(
+            "batch_timing",
+            name=report.name,
+            mode=report.mode,
+            workers=report.workers,
+            total_seconds=report.total_seconds,
+            serial_seconds=report.serial_seconds,
+            speedup=report.speedup,
+            utilization=report.utilization,
+        )
+    return result
+
+
 def run_tasks(
     fn: Callable[[Any], Any],
     tasks: Sequence[Any],
@@ -194,6 +229,8 @@ def run_tasks(
     labels: Optional[Sequence[str]] = None,
     timeout: Optional[float] = None,
     name: str = "tasks",
+    recorder: Recorder = NULL_RECORDER,
+    task_recorders: Optional[Sequence[Recorder]] = None,
 ) -> ParallelResult:
     """Map ``fn`` over ``tasks``, fanning out across worker processes.
 
@@ -208,6 +245,14 @@ def run_tasks(
         timeout: Per-task seconds before the batch is aborted with
             :class:`WorkerTimeoutError`.
         name: Batch name for the timing report.
+        recorder: Telemetry sink; when enabled the batch emits one
+            ``task_timing`` record per task plus a ``batch_timing``
+            record, after merging ``task_recorders``.
+        task_recorders: Optional per-task worker-local recorders (aligned
+            with ``tasks``; see
+            :meth:`repro.telemetry.JsonlRecorder.for_task`).  Each task's
+            stream is merged into ``recorder`` in task order once the
+            batch completes, regardless of where the task ran.
 
     Returns:
         :class:`ParallelResult` with values in task order and a
@@ -223,6 +268,10 @@ def run_tasks(
     labels = [str(label) for label in labels]
     if len(labels) != len(tasks):
         raise ValueError(f"{len(labels)} labels for {len(tasks)} tasks")
+    if task_recorders is not None and len(task_recorders) != len(tasks):
+        raise ValueError(
+            f"{len(task_recorders)} task recorders for {len(tasks)} tasks"
+        )
     workers = resolve_workers(workers, num_tasks=len(tasks))
     if not tasks:
         return ParallelResult(
@@ -230,11 +279,17 @@ def run_tasks(
             timing=TimingReport(name=name, mode="serial", workers=1, total_seconds=0.0),
         )
     if workers <= 1:
-        return _run_serial(fn, tasks, labels, name, mode="serial")
+        return _finish_batch(
+            _run_serial(fn, tasks, labels, name, mode="serial"),
+            recorder, task_recorders,
+        )
 
     reason = _pickle_failure(fn, tasks)
     if reason is not None:
-        return _run_serial(fn, tasks, labels, name, mode="serial-fallback", note=reason)
+        return _finish_batch(
+            _run_serial(fn, tasks, labels, name, mode="serial-fallback", note=reason),
+            recorder, task_recorders,
+        )
 
     try:
         import multiprocessing as mp
@@ -242,13 +297,16 @@ def run_tasks(
         context = mp.get_context(_start_method())
         pool = context.Pool(processes=workers)
     except Exception as exc:  # pragma: no cover - platform-specific
-        return _run_serial(
-            fn,
-            tasks,
-            labels,
-            name,
-            mode="serial-fallback",
-            note=f"could not start worker processes ({exc})",
+        return _finish_batch(
+            _run_serial(
+                fn,
+                tasks,
+                labels,
+                name,
+                mode="serial-fallback",
+                note=f"could not start worker processes ({exc})",
+            ),
+            recorder, task_recorders,
         )
 
     start = time.perf_counter()
@@ -281,4 +339,6 @@ def run_tasks(
         total_seconds=time.perf_counter() - start,
         tasks=timings,
     )
-    return ParallelResult(values=values, timing=report)
+    return _finish_batch(
+        ParallelResult(values=values, timing=report), recorder, task_recorders
+    )

@@ -14,6 +14,7 @@ subclasses this and swaps the optimiser for K-FAC natural gradients.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -24,6 +25,7 @@ from repro.nn.optim import RMSprop, clip_grads_by_norm
 from repro.rl.buffer import RolloutBuffer
 from repro.rl.policy import ActorCriticPolicy
 from repro.rl.runner import Env, EpisodeRecord, ParallelRunner
+from repro.telemetry import NULL_RECORDER, Recorder
 
 __all__ = ["A2CConfig", "UpdateStats", "A2CTrainer"]
 
@@ -57,13 +59,30 @@ class A2CConfig:
 
 @dataclass
 class UpdateStats:
-    """Diagnostics for one training update."""
+    """Diagnostics for one training update.
+
+    Attributes:
+        policy_loss: Mean policy-gradient loss of the batch.
+        value_loss: Weighted mean squared TD error.
+        entropy: Mean policy entropy over the batch.
+        mean_return: Mean bootstrapped return of the batch.
+        grad_norm: Actor gradient norm before clipping (0.0 for ACKTR,
+            whose K-FAC step clips internally).
+        kl: Predicted trust-region KL of the applied actor step (ACKTR
+            only; None for plain A2C, which has no trust region).
+        trust_scale_actor: K-FAC trust-region rescale of the actor step
+            (ACKTR only).
+        trust_scale_critic: Same for the critic step.
+    """
 
     policy_loss: float
     value_loss: float
     entropy: float
     mean_return: float
     grad_norm: float
+    kl: Optional[float] = None
+    trust_scale_actor: Optional[float] = None
+    trust_scale_critic: Optional[float] = None
 
 
 class A2CTrainer:
@@ -76,6 +95,8 @@ class A2CTrainer:
         seed: Seed for policy initialisation and action sampling.
         policy: Optional pre-built policy (otherwise constructed from the
             first environment's spaces).
+        recorder: Telemetry sink; every update emits one ``train_update``
+            record when it is enabled (no-op default).
     """
 
     def __init__(
@@ -84,8 +105,11 @@ class A2CTrainer:
         config: A2CConfig = A2CConfig(),
         seed: int = 0,
         policy: Optional[ActorCriticPolicy] = None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         self.config = config
+        self.seed = seed
+        self.recorder = recorder
         self.rng = np.random.default_rng(seed)
         self.envs: List[Env] = [env_factory() for _ in range(config.n_envs)]
         first = self.envs[0]
@@ -113,6 +137,8 @@ class A2CTrainer:
 
     def update(self) -> UpdateStats:
         """Collect one rollout and apply one actor + one critic update."""
+        record = self.recorder.enabled
+        start = _time.perf_counter() if record else 0.0
         last_values = self.runner.collect(self.buffer)
         self.episode_history.extend(self.runner.drain_episodes())
         obs, actions, returns, advantages = self.buffer.batch(
@@ -123,6 +149,23 @@ class A2CTrainer:
 
         stats = self._apply_update(obs, actions, returns, advantages)
         self.updates_done += 1
+        if record:
+            fields = {
+                "update": self.updates_done,
+                "policy_loss": stats.policy_loss,
+                "value_loss": stats.value_loss,
+                "entropy": stats.entropy,
+                "mean_return": stats.mean_return,
+                "grad_norm": stats.grad_norm,
+                "episodes": len(self.episode_history),
+                "seed": self.seed,
+                "wall_seconds": _time.perf_counter() - start,
+            }
+            if stats.kl is not None:
+                fields["kl"] = stats.kl
+                fields["trust_scale_actor"] = stats.trust_scale_actor
+                fields["trust_scale_critic"] = stats.trust_scale_critic
+            self.recorder.emit("train_update", **fields)
         return stats
 
     def _apply_update(

@@ -56,8 +56,11 @@ class ACKTRTrainer(A2CTrainer):
     config: ACKTRConfig
 
     def __init__(self, env_factory, config: ACKTRConfig = ACKTRConfig(), seed: int = 0,
-                 policy=None) -> None:
-        super().__init__(env_factory, config, seed=seed, policy=policy)
+                 policy=None, recorder=None) -> None:
+        from repro.telemetry import NULL_RECORDER
+
+        super().__init__(env_factory, config, seed=seed, policy=policy,
+                         recorder=recorder if recorder is not None else NULL_RECORDER)
 
     def _build_optimizers(self) -> None:
         cfg: ACKTRConfig = self.config  # type: ignore[assignment]
@@ -132,4 +135,9 @@ class ACKTRTrainer(A2CTrainer):
             entropy=entropy_mean,
             mean_return=float(returns.mean()),
             grad_norm=0.0,
+            # Predicted KL of the applied actor step — the quantity the
+            # trust region bounds (paper: KL clipping 0.001).
+            kl=self.actor_kfac.last_predicted_kl,
+            trust_scale_actor=self.actor_kfac.last_scale,
+            trust_scale_critic=self.critic_kfac.last_scale,
         )

@@ -30,6 +30,7 @@ from repro.rl.a2c import A2CConfig, A2CTrainer
 from repro.rl.acktr import ACKTRConfig, ACKTRTrainer
 from repro.rl.policy import ActorCriticPolicy
 from repro.rl.runner import Env
+from repro.telemetry import NULL_RECORDER, Recorder
 
 __all__ = ["SeedResult", "MultiSeedResult", "train_multi_seed", "evaluate_policy"]
 
@@ -103,12 +104,17 @@ class _SeedTask:
     seed: int
     updates: int
     eval_episodes: int
+    #: Worker-local telemetry stream (merged into the parent's after the
+    #: batch; see :meth:`repro.telemetry.JsonlRecorder.for_task`).
+    recorder: Recorder = NULL_RECORDER
 
 
 def _run_seed_task(task: _SeedTask) -> SeedResult:
     """Train one seed; runs in a worker process or in-process (serial)."""
     trainer_cls = ACKTRTrainer if task.algorithm == "acktr" else A2CTrainer
-    trainer = trainer_cls(task.env_factory, task.config, seed=task.seed)
+    trainer = trainer_cls(
+        task.env_factory, task.config, seed=task.seed, recorder=task.recorder
+    )
     trainer.train(task.updates)
     evaluation = evaluate_policy(
         trainer.policy,
@@ -116,6 +122,15 @@ def _run_seed_task(task: _SeedTask) -> SeedResult:
         episodes=task.eval_episodes,
         rng=np.random.default_rng(task.seed),
     )
+    if task.recorder.enabled:
+        task.recorder.emit(
+            "seed_result",
+            seed=task.seed,
+            mean_episode_reward=evaluation["mean_episode_reward"],
+            episodes=len(trainer.episode_history),
+            algorithm=task.algorithm,
+        )
+        task.recorder.close()
     return SeedResult(
         seed=task.seed,
         policy=trainer.policy,
@@ -134,6 +149,7 @@ def train_multi_seed(
     verbose: bool = False,
     workers: Optional[int] = None,
     timeout: Optional[float] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> MultiSeedResult:
     """Train ``len(seeds)`` agents and select the best (Alg. 1, line 13).
 
@@ -152,6 +168,11 @@ def train_multi_seed(
         workers: Worker processes for the per-seed fan-out (default:
             ``REPRO_WORKERS``, serial when unset).
         timeout: Per-seed wall-clock limit in seconds (parallel mode).
+        recorder: Telemetry sink.  When enabled, each seed's per-update
+            ``train_update`` and final ``seed_result`` records stream
+            into a worker-local file and are merged back here in seed
+            order, followed by fan-out timing and a ``train_summary``
+            record naming the selected best agent.
 
     Returns:
         Per-seed results and the best agent by greedy evaluation reward,
@@ -168,6 +189,10 @@ def train_multi_seed(
     # slice of that call sequence independently of the others.
     distributable = isinstance(env_factory, EnvBuilder)
     calls_per_seed = config.n_envs + 1
+    labels = [f"seed {seed}" for seed in seeds]
+    task_recorders = (
+        [recorder.for_task(label) for label in labels] if recorder.enabled else None
+    )
     tasks: List[_SeedTask] = []
     for index, seed in enumerate(seeds):
         if distributable:
@@ -184,6 +209,9 @@ def train_multi_seed(
                 seed=seed,
                 updates=updates_per_seed,
                 eval_episodes=eval_episodes,
+                recorder=(
+                    task_recorders[index] if task_recorders else NULL_RECORDER
+                ),
             )
         )
 
@@ -191,9 +219,11 @@ def train_multi_seed(
         _run_seed_task,
         tasks,
         workers=1 if not distributable else workers,
-        labels=[f"seed {seed}" for seed in seeds],
+        labels=labels,
         timeout=timeout,
         name=f"train[{algorithm}]",
+        recorder=recorder,
+        task_recorders=task_recorders,
     )
     if not distributable and workers not in (None, 1):
         outcome.timing.mode = "serial-fallback"
@@ -210,4 +240,12 @@ def train_multi_seed(
                 f"episodes={result.episodes}"
             )
     best = max(results, key=lambda r: r.mean_episode_reward)
+    if recorder.enabled:
+        recorder.emit(
+            "train_summary",
+            algorithm=algorithm,
+            seeds=len(seeds),
+            best_seed=best.seed,
+            best_reward=best.mean_episode_reward,
+        )
     return MultiSeedResult(results=results, best=best, timing=outcome.timing)

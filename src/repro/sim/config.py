@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["SimulationConfig"]
 
@@ -20,18 +21,27 @@ class SimulationConfig:
         drop_active_at_horizon: When True, flows still in flight at the
             horizon are counted as dropped; when False (default, matching
             the paper's objective over *finished* flows) they are simply
-            not counted.
+            not counted — they surface as ``flows_active`` in the final
+            :class:`~repro.sim.metrics.SimulationMetrics`.
         check_invariants: Run state-invariant assertions after every event.
             Slow; meant for tests and debugging.
+        metrics_series_cap: Optional bound on the per-flow success-ratio
+            time series kept by the metrics collector; long-horizon runs
+            stay memory-flat via stride decimation.  None = unbounded.
     """
 
     horizon: float = 20000.0
     keep_duration: float = 1.0
     drop_active_at_horizon: bool = False
     check_invariants: bool = False
+    metrics_series_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
             raise ValueError(f"horizon must be > 0, got {self.horizon}")
         if self.keep_duration <= 0:
             raise ValueError(f"keep_duration must be > 0, got {self.keep_duration}")
+        if self.metrics_series_cap is not None and self.metrics_series_cap < 2:
+            raise ValueError(
+                f"metrics_series_cap must be >= 2, got {self.metrics_series_cap}"
+            )

@@ -9,6 +9,7 @@ be inspected over the course of a run.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -45,9 +46,17 @@ class SimulationMetrics:
         flows_succeeded: Flows that reached their egress fully processed
             within their deadline.
         flows_dropped: Flows dropped for any reason.
+        flows_active: Flows still in flight when the run was finalized.
+            Non-zero only when ``drop_active_at_horizon=False``; those
+            flows are *excluded* from ``success_ratio`` (Eq. 1 divides
+            by finished flows only), so this field is the record of how
+            many outcomes the objective did not see.
         drop_reasons: Per-reason drop counts.
         success_ratio: ``|F_succ| / (|F_succ| + |F_drop|)`` — the paper's
-            objective ``o_f``; 0.0 when no flow finished.
+            objective ``o_f`` over *finished* flows.  0.0 both when every
+            finished flow dropped and when no flow finished at all;
+            check ``flows_succeeded + flows_dropped`` (or
+            ``flows_active``) to tell the two apart.
         avg_end_to_end_delay: Mean ``d_f`` over successful flows (None if
             none succeeded).
         avg_hops: Mean link traversals of successful flows.
@@ -64,6 +73,7 @@ class SimulationMetrics:
     avg_hops: Optional[float]
     decisions: int
     horizon: float
+    flows_active: int = 0
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -79,10 +89,27 @@ class SimulationMetrics:
         )
 
 
-class MetricsCollector:
-    """Accumulates flow outcomes during a simulation run."""
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    rank = max(0, min(len(sorted_values) - 1, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
 
-    def __init__(self) -> None:
+
+class MetricsCollector:
+    """Accumulates flow outcomes during a simulation run.
+
+    Args:
+        series_cap: Optional upper bound on the length of
+            :attr:`success_series`.  When the series would exceed the
+            cap, it is decimated: every other retained sample is dropped
+            and the sampling stride doubles, so arbitrarily long
+            horizons keep memory flat while the series still spans the
+            whole run.  ``None`` (default) records every finished flow.
+    """
+
+    def __init__(self, series_cap: Optional[int] = None) -> None:
+        if series_cap is not None and series_cap < 2:
+            raise ValueError(f"series_cap must be >= 2, got {series_cap}")
         self.flows_generated = 0
         self.flows_succeeded = 0
         self.flows_dropped = 0
@@ -90,8 +117,14 @@ class MetricsCollector:
         self.decisions = 0
         self._delays: List[float] = []
         self._hops: List[int] = []
-        #: (time, success_ratio_so_far) samples, one per finished flow.
+        #: (time, success_ratio_so_far) samples; one per finished flow
+        #: when uncapped, decimated to at most ``series_cap`` otherwise.
         self.success_series: List[Tuple[float, float]] = []
+        self.series_cap = series_cap
+        #: Current sampling stride (1 = every finished flow; doubles on
+        #: each decimation).
+        self._series_stride = 1
+        self._finished_since_sample = 0
 
     def record_generated(self, flow: Flow) -> None:
         self.flows_generated += 1
@@ -114,14 +147,57 @@ class MetricsCollector:
 
     def _sample(self, time: Optional[float]) -> None:
         finished = self.flows_succeeded + self.flows_dropped
-        if time is not None and finished > 0:
-            self.success_series.append((time, self.flows_succeeded / finished))
+        if time is None or finished <= 0:
+            return
+        self._finished_since_sample += 1
+        if self._finished_since_sample < self._series_stride:
+            return
+        self._finished_since_sample = 0
+        self.success_series.append((time, self.flows_succeeded / finished))
+        if self.series_cap is not None and len(self.success_series) >= self.series_cap:
+            # Keep every other sample and double the stride: the series
+            # stays within the cap and still covers the whole run.
+            self.success_series = self.success_series[::2]
+            self._series_stride *= 2
+
+    @property
+    def flows_active(self) -> int:
+        """Flows injected but not yet finished (succeeded or dropped)."""
+        return self.flows_generated - self.flows_succeeded - self.flows_dropped
 
     @property
     def success_ratio(self) -> float:
-        """Objective ``o_f`` so far (0.0 before any flow finishes)."""
+        """Objective ``o_f`` over *finished* flows so far (Eq. 1).
+
+        Returns 0.0 in two distinct situations: before any flow has
+        finished (nothing to divide by) and when every finished flow was
+        dropped.  Callers that must distinguish them should inspect
+        ``flows_succeeded + flows_dropped`` or :attr:`flows_active`.
+        In-flight flows never count — with
+        ``drop_active_at_horizon=False`` they are silently excluded from
+        the objective (they surface as ``flows_active`` in
+        :class:`SimulationMetrics`).
+        """
         finished = self.flows_succeeded + self.flows_dropped
         return self.flows_succeeded / finished if finished else 0.0
+
+    def delay_summary(self) -> Optional[Dict[str, float]]:
+        """Histogram summary of successful-flow delays (None if none).
+
+        Returns count/min/p50/mean/p95/max — the compact form emitted in
+        ``sim_run`` telemetry records.
+        """
+        if not self._delays:
+            return None
+        ordered = sorted(self._delays)
+        return {
+            "count": float(len(ordered)),
+            "min": ordered[0],
+            "p50": _percentile(ordered, 0.50),
+            "mean": sum(ordered) / len(ordered),
+            "p95": _percentile(ordered, 0.95),
+            "max": ordered[-1],
+        }
 
     def finalize(self, horizon: float) -> SimulationMetrics:
         """Freeze the collected counters into a :class:`SimulationMetrics`."""
@@ -137,4 +213,5 @@ class MetricsCollector:
             avg_hops=(sum(self._hops) / len(self._hops) if self._hops else None),
             decisions=self.decisions,
             horizon=horizon,
+            flows_active=self.flows_active,
         )

@@ -42,6 +42,7 @@ from repro.sim.config import SimulationConfig
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.metrics import DropReason, MetricsCollector, SimulationMetrics
 from repro.sim.state import Allocation, CapacityError, NetworkState
+from repro.telemetry import NULL_RECORDER, Recorder
 from repro.topology.network import Network
 from repro.traffic.flows import Flow, FlowSpec, FlowStatus
 
@@ -136,7 +137,7 @@ class Simulator:
         self.catalog = catalog
         self.config = config
         self.state = NetworkState(network)
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(series_cap=config.metrics_series_cap)
         self.now: float = 0.0
 
         self._queue = EventQueue()
@@ -229,6 +230,7 @@ class Simulator:
         self,
         policy: Callable[[DecisionPoint, "Simulator"], int],
         time_decisions: bool = False,
+        recorder: Recorder = NULL_RECORDER,
     ) -> SimulationMetrics:
         """Drive the whole simulation with ``policy`` and finalize.
 
@@ -237,7 +239,11 @@ class Simulator:
             time_decisions: Measure wall-clock time per policy call; the
                 mean is exposed as :attr:`mean_decision_seconds` (used for
                 the paper's Fig. 9b inference-time comparison).
+            recorder: Telemetry sink; when enabled the finished run emits
+                one ``sim_run`` record (flow counters, success ratio,
+                drop reasons, delay histogram summary, wall-clock).
         """
+        wall_start = _time.perf_counter() if recorder.enabled else 0.0
         total_seconds = 0.0
         calls = 0
         while (decision := self.next_decision()) is not None:
@@ -250,7 +256,24 @@ class Simulator:
                 action = policy(decision, self)
             self.apply_action(action)
         self.mean_decision_seconds = total_seconds / calls if calls else 0.0
-        return self.finalize()
+        metrics = self.finalize()
+        if recorder.enabled:
+            fields = {
+                "flows_generated": metrics.flows_generated,
+                "flows_succeeded": metrics.flows_succeeded,
+                "flows_dropped": metrics.flows_dropped,
+                "flows_active": metrics.flows_active,
+                "success_ratio": metrics.success_ratio,
+                "drop_reasons": metrics.drop_reasons,
+                "decisions": metrics.decisions,
+                "horizon": metrics.horizon,
+                "wall_seconds": _time.perf_counter() - wall_start,
+            }
+            delay = self.metrics.delay_summary()
+            if delay is not None:
+                fields["delay"] = delay
+            recorder.emit("sim_run", **fields)
+        return metrics
 
     def finalize(self) -> SimulationMetrics:
         """Close the run and return summary metrics.

@@ -41,10 +41,20 @@ class FlowTrace:
     Holds a reference to the live :class:`~repro.traffic.flows.Flow`, so
     the final status / drop reason / delay are always current — no
     explicit finalisation step needed.
+
+    Attributes:
+        dropped_decisions: Decisions *not* recorded because the trace hit
+            the tracer's per-flow cap (0 when uncapped); the recorded
+            prefix plus this count reconstructs the true decision total.
     """
 
     flow: Flow
     decisions: List[DecisionRecord] = field(default_factory=list)
+    dropped_decisions: int = 0
+
+    @property
+    def truncated(self) -> bool:
+        return self.dropped_decisions > 0
 
     @property
     def flow_id(self) -> int:
@@ -75,13 +85,24 @@ class TracingPolicy:
         inner: The policy actually making decisions.
         max_flows: Stop recording *new* flows beyond this many (memory
             guard for long runs); decisions of already-traced flows are
-            always recorded.
+            still recorded (subject to ``max_decisions_per_flow``).
+        max_decisions_per_flow: Per-flow cap on recorded decisions.  A
+            flow stuck in a keep-loop otherwise grows its trace linearly
+            with the horizon; beyond the cap only
+            :attr:`FlowTrace.dropped_decisions` is counted, keeping
+            long-horizon runs memory-flat.  None = unbounded.
     """
 
     def __init__(self, inner: Callable[[DecisionPoint, Simulator], int],
-                 max_flows: int = 10000) -> None:
+                 max_flows: int = 10000,
+                 max_decisions_per_flow: Optional[int] = None) -> None:
+        if max_decisions_per_flow is not None and max_decisions_per_flow < 1:
+            raise ValueError(
+                f"max_decisions_per_flow must be >= 1, got {max_decisions_per_flow}"
+            )
         self.inner = inner
         self.max_flows = max_flows
+        self.max_decisions_per_flow = max_decisions_per_flow
         self.traces: Dict[int, FlowTrace] = {}
 
     def __call__(self, decision: DecisionPoint, sim: Simulator) -> int:
@@ -92,15 +113,19 @@ class TracingPolicy:
             trace = FlowTrace(flow=flow)
             self.traces[flow.flow_id] = trace
         if trace is not None:
-            trace.decisions.append(
-                DecisionRecord(
-                    time=decision.time,
-                    node=decision.node,
-                    component_index=flow.component_index,
-                    action=action,
-                    remaining_deadline=flow.remaining_time(decision.time),
+            cap = self.max_decisions_per_flow
+            if cap is not None and len(trace.decisions) >= cap:
+                trace.dropped_decisions += 1
+            else:
+                trace.decisions.append(
+                    DecisionRecord(
+                        time=decision.time,
+                        node=decision.node,
+                        component_index=flow.component_index,
+                        action=action,
+                        remaining_deadline=flow.remaining_time(decision.time),
+                    )
                 )
-            )
         return action
 
     # ------------------------------------------------------------------
@@ -135,6 +160,11 @@ class TracingPolicy:
             lines.append(
                 f"  t={r.time:8.2f}  at {r.node:<6} {component:<6} {what:<12} "
                 f"(deadline left {r.remaining_deadline:6.2f})"
+            )
+        if trace.truncated:
+            lines.append(
+                f"  ... {trace.dropped_decisions} further decision(s) not "
+                f"recorded (per-flow cap)"
             )
         if flow.status is not FlowStatus.ACTIVE:
             suffix = f" ({flow.drop_reason})" if flow.drop_reason else ""

@@ -1,0 +1,75 @@
+"""Named wall-clock phases for benchmarks and multi-stage runs.
+
+A :class:`PhaseTimer` accumulates how long each named phase of a run
+took (re-entering a phase adds to its total), optionally emitting a
+``phase`` telemetry record per measurement.  Benchmarks attach the
+resulting breakdown to their JSON reports so the perf trajectory of
+each stage (training vs evaluation vs comparison) is visible over time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.telemetry.recorder import NULL_RECORDER, Recorder
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulates per-phase wall-clock totals.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("train"):
+            ...
+        with timer.phase("evaluate"):
+            ...
+        report["phases"] = timer.to_dict()
+    """
+
+    def __init__(self, recorder: Recorder = NULL_RECORDER) -> None:
+        self.recorder = recorder
+        self._totals: Dict[str, float] = {}
+        self._order: List[str] = []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase; nested/repeated entries accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            seconds = time.perf_counter() - start
+            if name not in self._totals:
+                self._totals[name] = 0.0
+                self._order.append(name)
+            self._totals[name] += seconds
+            if self.recorder.enabled:
+                self.recorder.emit("phase", name=name, seconds=seconds)
+
+    @property
+    def phases(self) -> List[Tuple[str, float]]:
+        """(name, total seconds) in first-entry order."""
+        return [(name, self._totals[name]) for name in self._order]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self._totals.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready per-phase breakdown for bench reports."""
+        return {
+            "phases": [
+                {"name": name, "seconds": seconds} for name, seconds in self.phases
+            ],
+            "total_seconds": self.total_seconds,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable breakdown."""
+        parts = [f"{name}={seconds:.2f}s" for name, seconds in self.phases]
+        return "phases: " + (" ".join(parts) if parts else "(none)")

@@ -1,0 +1,211 @@
+"""Schema of the telemetry JSONL stream.
+
+Every line of a ``metrics.jsonl`` stream is one JSON object with a
+``kind`` field selecting one of the record schemas below.  The schema is
+deliberately closed: :func:`validate_record` rejects unknown kinds and
+missing/ill-typed required fields, so ``repro telemetry summarize`` can
+guarantee that a stream it renders is well-formed.
+
+Record kinds
+------------
+
+``train_update``
+    One gradient update of a trainer: ``update`` (1-based index),
+    ``policy_loss``, ``value_loss``, ``entropy``, ``mean_return``;
+    optionally ``kl`` (ACKTR predicted trust-region KL), ``grad_norm``,
+    ``trust_scale_actor``/``trust_scale_critic`` (K-FAC step rescale),
+    ``episodes`` (finished so far), ``seed``, ``algorithm``, and
+    ``wall_seconds``.
+
+``seed_result``
+    One finished per-seed training run: ``seed``,
+    ``mean_episode_reward``, ``episodes``; optionally ``algorithm``.
+
+``train_summary``
+    Best-agent selection over all seeds: ``algorithm``, ``seeds``
+    (count), ``best_seed``; optionally ``best_reward``.
+
+``sim_run``
+    One finished simulation: flow counters (``flows_generated``,
+    ``flows_succeeded``, ``flows_dropped``, ``flows_active``),
+    ``success_ratio``, ``drop_reasons`` (reason -> count),
+    ``decisions``, ``horizon``; optionally ``delay`` (histogram summary
+    dict), ``seed``, ``label``, ``wall_seconds``.
+
+``eval_aggregate``
+    Cross-seed aggregation of one algorithm's evaluation: ``name``,
+    ``seeds`` (count), ``mean_success``, ``mean_delay``,
+    ``delay_seeds_excluded`` (seeds whose delay was NaN and therefore
+    carried zero weight).
+
+``task_timing`` / ``batch_timing``
+    Wall-clock accounting of one parallel task / one fan-out batch
+    (mirrors :class:`repro.parallel.timing.TimingReport`).
+
+``phase``
+    One named wall-clock phase (e.g. ``train`` vs ``evaluate`` in a
+    benchmark): ``name``, ``seconds``.
+
+``note``
+    Freeform annotation: ``message``.
+
+Determinism
+-----------
+
+Wall-clock values vary between runs and worker counts, so equality
+checks must ignore them.  :func:`strip_timing` removes the
+:data:`TIMING_FIELDS` from one record; :func:`canonical_stream`
+additionally drops the purely timing-valued record kinds
+(:data:`TIMING_KINDS`).  Two runs of the same workload — serial or
+fanned out across any number of workers — produce identical canonical
+streams.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TIMING_FIELDS",
+    "TIMING_KINDS",
+    "RECORD_SCHEMAS",
+    "SchemaError",
+    "validate_record",
+    "strip_timing",
+    "canonical_stream",
+]
+
+#: Version stamped into every run manifest; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+#: Fields holding wall-clock measurements; ignored by determinism checks.
+TIMING_FIELDS = frozenset(
+    {
+        "wall_seconds",
+        "seconds",
+        "total_seconds",
+        "serial_seconds",
+        "speedup",
+        "utilization",
+    }
+)
+
+#: Record kinds that carry only timing information (dropped entirely by
+#: :func:`canonical_stream`; their non-timing fields — mode, workers —
+#: legitimately differ between serial and parallel runs).
+TIMING_KINDS = frozenset({"task_timing", "batch_timing", "phase"})
+
+_NUM = numbers.Real
+_INT = numbers.Integral
+
+#: kind -> {field: expected type or tuple of types} for *required* fields.
+RECORD_SCHEMAS: Dict[str, Dict[str, Any]] = {
+    "train_update": {
+        "update": _INT,
+        "policy_loss": _NUM,
+        "value_loss": _NUM,
+        "entropy": _NUM,
+        "mean_return": _NUM,
+    },
+    "seed_result": {
+        "seed": _INT,
+        "mean_episode_reward": _NUM,
+        "episodes": _INT,
+    },
+    "train_summary": {
+        "algorithm": str,
+        "seeds": _INT,
+        "best_seed": _INT,
+    },
+    "sim_run": {
+        "flows_generated": _INT,
+        "flows_succeeded": _INT,
+        "flows_dropped": _INT,
+        "flows_active": _INT,
+        "success_ratio": _NUM,
+        "drop_reasons": Mapping,
+        "decisions": _INT,
+        "horizon": _NUM,
+    },
+    "eval_aggregate": {
+        "name": str,
+        "seeds": _INT,
+        "mean_success": _NUM,
+        "mean_delay": _NUM,
+        "delay_seeds_excluded": _INT,
+    },
+    "task_timing": {
+        "label": str,
+        "seconds": _NUM,
+    },
+    "batch_timing": {
+        "name": str,
+        "mode": str,
+        "workers": _INT,
+        "total_seconds": _NUM,
+    },
+    "phase": {
+        "name": str,
+        "seconds": _NUM,
+    },
+    "note": {
+        "message": str,
+    },
+}
+
+
+class SchemaError(ValueError):
+    """A telemetry record does not match the documented schema."""
+
+
+def validate_record(record: Any) -> str:
+    """Check one decoded record against the schema; returns its kind.
+
+    Raises:
+        SchemaError: The record is not a dict, has no/unknown ``kind``,
+            or a required field is missing or of the wrong type.
+    """
+    if not isinstance(record, Mapping):
+        raise SchemaError(f"record is not an object: {record!r}")
+    kind = record.get("kind")
+    if not isinstance(kind, str):
+        raise SchemaError(f"record has no string 'kind' field: {record!r}")
+    required = RECORD_SCHEMAS.get(kind)
+    if required is None:
+        raise SchemaError(
+            f"unknown record kind {kind!r}; known: {sorted(RECORD_SCHEMAS)}"
+        )
+    for name, expected in required.items():
+        if name not in record:
+            raise SchemaError(f"{kind} record missing required field {name!r}")
+        value = record[name]
+        # bool is an Integral subtype in python; reject it for numerics.
+        if isinstance(value, bool) and expected in (_NUM, _INT):
+            raise SchemaError(f"{kind}.{name} must be numeric, got bool")
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"{kind}.{name} has type {type(value).__name__}, "
+                f"expected {getattr(expected, '__name__', expected)}"
+            )
+    return kind
+
+
+def strip_timing(record: Mapping[str, Any]) -> Dict[str, Any]:
+    """One record without its wall-clock fields (for equality checks)."""
+    return {k: v for k, v in record.items() if k not in TIMING_FIELDS}
+
+
+def canonical_stream(
+    records: Iterable[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """The determinism-comparable view of a stream.
+
+    Drops purely-timing record kinds and strips timing fields from the
+    rest; two runs of the same seeded workload yield equal canonical
+    streams regardless of worker count.
+    """
+    return [
+        strip_timing(r) for r in records if r.get("kind") not in TIMING_KINDS
+    ]

@@ -1,0 +1,193 @@
+"""Render a human-readable report from a telemetry run directory.
+
+``repro telemetry summarize <dir>`` loads the run's manifest and JSONL
+stream, validates every record against the schema, and prints a compact
+report: record counts per kind, the training trajectory (loss, entropy,
+predicted KL), simulation outcomes (success ratio, drop reasons, delay
+summary), evaluation aggregates, and per-phase/batch wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.telemetry.manifest import (
+    STREAM_FILENAME,
+    RunManifest,
+    read_manifest,
+)
+from repro.telemetry.schema import SchemaError, validate_record
+
+__all__ = ["load_stream", "summarize_run"]
+
+
+def load_stream(path: os.PathLike, validate: bool = True) -> List[Dict[str, Any]]:
+    """Load a JSONL stream; validates every record by default.
+
+    Raises:
+        SchemaError: A line is not valid JSON or fails schema validation
+            (the error names the 1-based line number).
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"{path}:{lineno}: invalid JSON ({exc})") from exc
+            if validate:
+                try:
+                    validate_record(record)
+                except SchemaError as exc:
+                    raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+            records.append(record)
+    return records
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
+def _fmt(value: Optional[float], spec: str = ".3f") -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "n/a"
+    return format(value, spec)
+
+
+def _training_lines(updates: List[Dict[str, Any]]) -> List[str]:
+    first, last = updates[0], updates[-1]
+    lines = [
+        f"training: {len(updates)} updates | "
+        f"pi_loss {first['policy_loss']:.4f} -> {last['policy_loss']:.4f} | "
+        f"v_loss {first['value_loss']:.4f} -> {last['value_loss']:.4f} | "
+        f"entropy {first['entropy']:.3f} -> {last['entropy']:.3f}"
+    ]
+    kls = [r["kl"] for r in updates if isinstance(r.get("kl"), float)]
+    if kls:
+        lines.append(
+            f"  trust region: predicted KL mean {_mean(kls):.2e} "
+            f"max {max(kls):.2e}"
+        )
+    walls = [r["wall_seconds"] for r in updates if "wall_seconds" in r]
+    if walls:
+        lines.append(
+            f"  update wall-clock: total {sum(walls):.2f}s "
+            f"mean {_mean(walls) * 1000.0:.1f}ms"
+        )
+    return lines
+
+
+def _sim_lines(runs: List[Dict[str, Any]]) -> List[str]:
+    ratios = [float(r["success_ratio"]) for r in runs]
+    drops: Dict[str, int] = {}
+    for r in runs:
+        for reason, count in r["drop_reasons"].items():
+            drops[reason] = drops.get(reason, 0) + int(count)
+    lines = [
+        f"simulation: {len(runs)} runs | success {_mean(ratios):.3f} "
+        f"(min {min(ratios):.3f} max {max(ratios):.3f}) | "
+        f"flows {sum(int(r['flows_generated']) for r in runs)} "
+        f"(+{sum(int(r['flows_succeeded']) for r in runs)} "
+        f"-{sum(int(r['flows_dropped']) for r in runs)} "
+        f"~{sum(int(r['flows_active']) for r in runs)} in flight)"
+    ]
+    if drops:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(drops.items()))
+        lines.append(f"  drops: {rendered}")
+    delays = [r["delay"] for r in runs if isinstance(r.get("delay"), dict)]
+    if delays:
+        p50 = _mean([d["p50"] for d in delays if "p50" in d])
+        p95 = _mean([d["p95"] for d in delays if "p95" in d])
+        dmax = max((d.get("max", float("-inf")) for d in delays), default=None)
+        lines.append(
+            f"  delay (successful flows): p50 {_fmt(p50, '.2f')} "
+            f"p95 {_fmt(p95, '.2f')} max {_fmt(dmax, '.2f')}"
+        )
+    return lines
+
+
+def summarize_run(directory: os.PathLike) -> str:
+    """Validate and render one run directory's report.
+
+    Raises:
+        FileNotFoundError: Missing manifest or stream file.
+        SchemaError: The stream contains a malformed record.
+    """
+    directory = Path(directory)
+    manifest: Optional[RunManifest]
+    try:
+        manifest = read_manifest(directory)
+    except FileNotFoundError:
+        manifest = None
+    stream = directory / STREAM_FILENAME
+    records = load_stream(stream)
+
+    lines = [f"== Telemetry run: {directory} =="]
+    if manifest is not None:
+        lines.append(
+            f"manifest: name={manifest.name} created={manifest.created} "
+            f"seeds={list(manifest.seeds)} repro={manifest.package_version} "
+            f"schema=v{manifest.schema_version}"
+        )
+        if manifest.config:
+            knobs = ", ".join(
+                f"{k}={v}" for k, v in sorted(manifest.config.items())
+            )
+            lines.append(f"config: {knobs}")
+    else:
+        lines.append("manifest: (missing)")
+
+    counts: Dict[str, int] = {}
+    for record in records:
+        counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+    rendered_counts = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    lines.append(f"records: {len(records)} ({rendered_counts or 'empty'})")
+
+    by_kind: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        by_kind.setdefault(record["kind"], []).append(record)
+
+    if "train_update" in by_kind:
+        lines.extend(_training_lines(by_kind["train_update"]))
+    for result in by_kind.get("seed_result", []):
+        lines.append(
+            f"seed {result['seed']}: eval_reward "
+            f"{result['mean_episode_reward']:.2f} "
+            f"episodes={result['episodes']}"
+        )
+    for summary in by_kind.get("train_summary", []):
+        lines.append(
+            f"best agent: seed {summary['best_seed']} of "
+            f"{summary['seeds']} ({summary['algorithm']})"
+        )
+    if "sim_run" in by_kind:
+        lines.extend(_sim_lines(by_kind["sim_run"]))
+    for agg in by_kind.get("eval_aggregate", []):
+        excluded = int(agg["delay_seeds_excluded"])
+        suffix = f" ({excluded} seed(s) excluded from delay)" if excluded else ""
+        lines.append(
+            f"evaluation[{agg['name']}]: {agg['seeds']} seeds | "
+            f"success {_fmt(float(agg['mean_success']))} | "
+            f"delay {_fmt(float(agg['mean_delay']), '.1f')}{suffix}"
+        )
+    for batch in by_kind.get("batch_timing", []):
+        lines.append(
+            f"batch {batch['name']}: {batch['mode']} "
+            f"workers={batch['workers']} {batch['total_seconds']:.2f}s"
+        )
+    phase_totals: Dict[str, float] = {}
+    for phase in by_kind.get("phase", []):
+        phase_totals[phase["name"]] = (
+            phase_totals.get(phase["name"], 0.0) + float(phase["seconds"])
+        )
+    if phase_totals:
+        rendered = " ".join(f"{k}={v:.2f}s" for k, v in phase_totals.items())
+        lines.append(f"phases: {rendered}")
+    return "\n".join(lines)

@@ -50,14 +50,32 @@ class TestAlgorithmResult:
         assert result.mean_success == pytest.approx(0.6)
         assert result.std_success == pytest.approx(0.1)
         assert result.mean_delay == pytest.approx(20.0)  # NaN ignored
+        assert result.excluded_delay_seeds == 1
         assert result.mean_decision_ms == pytest.approx(2.0)
         assert "x" in result.summary()
 
+    def test_weighted_delay(self):
+        # A seed with many surviving flows dominates the delay mean; a
+        # seed where every flow dropped (NaN delay, weight 0) is excluded.
+        result = AlgorithmResult(
+            name="x",
+            success_ratios=[0.9, 0.1, 0.0],
+            avg_delays=[10.0, 40.0, float("nan")],
+            delay_weights=[300.0, 3.0, 0.0],
+        )
+        expected = (10.0 * 300.0 + 40.0 * 3.0) / 303.0
+        assert result.mean_delay == pytest.approx(expected)
+        assert result.excluded_delay_seeds == 1
+
     def test_empty(self):
+        # An empty aggregate is NaN across the board: 0.0 would be
+        # indistinguishable from "every flow dropped in every seed".
         result = AlgorithmResult(name="x")
-        assert result.mean_success == 0.0
+        assert math.isnan(result.mean_success)
+        assert math.isnan(result.std_success)
         assert math.isnan(result.mean_delay)
         assert math.isnan(result.mean_decision_ms)
+        assert "n/a" in result.summary()
 
 
 class TestEvaluatePolicy:

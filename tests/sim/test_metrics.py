@@ -91,3 +91,96 @@ class TestMetricsCollector:
         second.mark_dropped(2.0, DropReason.INVALID_ACTION)
         collector.record_drop(second, DropReason.INVALID_ACTION)
         assert collector.success_series == [(1.0, 1.0), (2.0, 0.5)]
+
+
+def _finish_flows(collector, count, start_time=0.0):
+    for index in range(count):
+        flow = make_flow()
+        collector.record_generated(flow)
+        flow.mark_succeeded(start_time + index + 1.0)
+        collector.record_success(flow)
+
+
+class TestSeriesCap:
+    def test_uncapped_series_grows_with_flows(self):
+        collector = MetricsCollector()
+        _finish_flows(collector, 500)
+        assert len(collector.success_series) == 500
+
+    @pytest.mark.parametrize("cap", [2, 16, 100])
+    def test_series_never_exceeds_cap(self, cap):
+        collector = MetricsCollector(series_cap=cap)
+        _finish_flows(collector, 10 * cap + 7)
+        assert len(collector.success_series) <= cap
+
+    def test_decimated_series_still_spans_the_run(self):
+        collector = MetricsCollector(series_cap=16)
+        _finish_flows(collector, 1000)
+        times = [t for t, _ in collector.success_series]
+        assert times == sorted(times)
+        assert times[0] < 100.0  # early samples survive decimation
+        assert times[-1] > 900.0  # and the series reaches the end
+
+    def test_cap_does_not_change_final_counters(self):
+        capped = MetricsCollector(series_cap=4)
+        uncapped = MetricsCollector()
+        for collector in (capped, uncapped):
+            _finish_flows(collector, 50)
+        assert capped.success_ratio == uncapped.success_ratio
+        assert capped.flows_succeeded == uncapped.flows_succeeded
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError, match="series_cap"):
+            MetricsCollector(series_cap=1)
+
+
+class TestSuccessRatioSemantics:
+    """Pin the documented 0.0 ambiguity and in-flight accounting."""
+
+    def test_all_dropped_and_none_finished_both_zero(self):
+        # The two 0.0 cases are distinguished via flows_active /
+        # finished counts, not via the ratio itself.
+        none_finished = MetricsCollector()
+        none_finished.record_generated(make_flow())
+        assert none_finished.success_ratio == 0.0
+        assert none_finished.flows_active == 1
+
+        all_dropped = MetricsCollector()
+        flow = make_flow()
+        all_dropped.record_generated(flow)
+        flow.mark_dropped(1.0, DropReason.DEADLINE_EXPIRED)
+        all_dropped.record_drop(flow, DropReason.DEADLINE_EXPIRED)
+        assert all_dropped.success_ratio == 0.0
+        assert all_dropped.flows_active == 0
+
+    def test_flows_active_in_finalized_metrics(self):
+        collector = MetricsCollector()
+        for _ in range(3):
+            collector.record_generated(make_flow())
+        flow = make_flow()
+        collector.record_generated(flow)
+        flow.mark_succeeded(1.0)
+        collector.record_success(flow)
+        metrics = collector.finalize(horizon=10.0)
+        assert metrics.flows_active == 3
+        assert metrics.success_ratio == 1.0  # in-flight flows excluded
+
+
+class TestDelaySummary:
+    def test_none_without_successes(self):
+        assert MetricsCollector().delay_summary() is None
+
+    def test_percentiles_of_known_delays(self):
+        collector = MetricsCollector()
+        for delay in range(1, 101):  # completion at t=delay, arrival 0
+            flow = make_flow()
+            collector.record_generated(flow)
+            flow.mark_succeeded(float(delay))
+            collector.record_success(flow)
+        summary = collector.delay_summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0
+        assert summary["p50"] == 50.0
+        assert summary["p95"] == 95.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)

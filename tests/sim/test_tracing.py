@@ -9,12 +9,16 @@ from repro.topology import line_network
 from tests.conftest import make_flow_specs, make_simple_catalog, make_simulator
 
 
-def run_traced(deadline=100.0, max_flows=10000):
+def run_traced(deadline=100.0, max_flows=10000, max_decisions_per_flow=None):
     net = line_network(3, node_capacity=10.0, link_capacity=10.0)
     catalog = make_simple_catalog(processing_delay=2.0)
     flows = make_flow_specs([1.0, 10.0], deadline=deadline)
     sim = make_simulator(net, catalog, flows)
-    tracer = TracingPolicy(ShortestPathPolicy(net, catalog), max_flows=max_flows)
+    tracer = TracingPolicy(
+        ShortestPathPolicy(net, catalog),
+        max_flows=max_flows,
+        max_decisions_per_flow=max_decisions_per_flow,
+    )
     metrics = sim.run(tracer)
     return tracer, metrics
 
@@ -64,3 +68,30 @@ class TestTracingPolicy:
     def test_max_flows_guard(self):
         tracer, _ = run_traced(max_flows=1)
         assert len(tracer.traces) == 1
+
+    def test_per_flow_decision_cap_bounds_memory(self):
+        # Without a cap the per-flow trace grows with the horizon; the
+        # cap pins the recorded prefix and counts the rest.
+        tracer, metrics = run_traced(max_decisions_per_flow=2)
+        for trace in tracer.traces.values():
+            assert len(trace.decisions) <= 2
+        total = sum(
+            len(t.decisions) + t.dropped_decisions
+            for t in tracer.traces.values()
+        )
+        assert total == metrics.decisions
+
+    def test_truncated_trace_rendering_notes_cap(self):
+        tracer, _ = run_traced(max_decisions_per_flow=1)
+        truncated = [t for t in tracer.traces.values() if t.truncated]
+        assert truncated
+        rendered = tracer.render_flow(truncated[0].flow_id)
+        assert "not recorded (per-flow cap)" in rendered
+
+    def test_uncapped_traces_not_truncated(self):
+        tracer, _ = run_traced()
+        assert all(not t.truncated for t in tracer.traces.values())
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_decisions_per_flow"):
+            TracingPolicy(lambda d, s: 0, max_decisions_per_flow=0)

@@ -1,0 +1,97 @@
+"""Tests for run manifests, run directories, and phase timers."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MANIFEST_FILENAME,
+    STREAM_FILENAME,
+    JsonlRecorder,
+    PhaseTimer,
+    SCHEMA_VERSION,
+    load_stream,
+    read_manifest,
+    start_run,
+)
+
+
+class TestStartRun:
+    def test_creates_directory_manifest_and_stream(self, tmp_path):
+        run_dir = tmp_path / "runs" / "exp1"
+        with start_run(run_dir, "train", config={"updates": 3}, seeds=(0, 1)) as run:
+            run.recorder.emit("note", message="hello")
+        assert (run_dir / MANIFEST_FILENAME).exists()
+        assert run.stream_path == run_dir / STREAM_FILENAME
+        assert len(load_stream(run.stream_path)) == 1
+
+    def test_manifest_round_trip(self, tmp_path):
+        with start_run(
+            tmp_path, "evaluate", config={"algorithm": "sp"}, seeds=range(3)
+        ):
+            pass
+        manifest = read_manifest(tmp_path)
+        assert manifest.name == "evaluate"
+        assert manifest.config == {"algorithm": "sp"}
+        assert list(manifest.seeds) == [0, 1, 2]
+        assert manifest.schema_version == SCHEMA_VERSION
+        assert manifest.package_version
+        assert manifest.created.endswith("Z")
+
+    def test_non_json_config_values_stringified(self, tmp_path):
+        with start_run(tmp_path, "train", config={"seeds": range(2)}):
+            pass
+        raw = json.loads((tmp_path / MANIFEST_FILENAME).read_text())
+        assert raw["config"]["seeds"] == str(range(2))
+
+    def test_rerun_truncates_previous_stream(self, tmp_path):
+        with start_run(tmp_path, "train") as run:
+            run.recorder.emit("note", message="old")
+        with start_run(tmp_path, "train") as run:
+            run.recorder.emit("note", message="new")
+        messages = [r["message"] for r in load_stream(run.stream_path)]
+        assert messages == ["new"]
+
+    def test_read_manifest_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_manifest(tmp_path)
+
+
+class TestPhaseTimer:
+    def test_accumulates_in_first_entry_order(self):
+        timer = PhaseTimer()
+        with timer.phase("train"):
+            pass
+        with timer.phase("evaluate"):
+            pass
+        with timer.phase("train"):
+            pass
+        names = [name for name, _ in timer.phases]
+        assert names == ["train", "evaluate"]
+        assert timer.total_seconds >= 0.0
+        assert "train=" in timer.render()
+
+    def test_to_dict_is_json_ready(self):
+        timer = PhaseTimer()
+        with timer.phase("only"):
+            pass
+        payload = json.loads(json.dumps(timer.to_dict()))
+        assert payload["phases"][0]["name"] == "only"
+        assert payload["total_seconds"] >= 0.0
+
+    def test_emits_phase_records_when_recording(self, tmp_path):
+        recorder = JsonlRecorder(tmp_path / "m.jsonl")
+        timer = PhaseTimer(recorder)
+        with timer.phase("train"):
+            pass
+        recorder.close()
+        [record] = load_stream(recorder.path)
+        assert record["kind"] == "phase"
+        assert record["name"] == "train"
+
+    def test_records_phase_even_when_body_raises(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("broken"):
+                raise RuntimeError("boom")
+        assert [name for name, _ in timer.phases] == ["broken"]

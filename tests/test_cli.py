@@ -74,3 +74,55 @@ class TestTrainEvaluateRoundtrip:
         ])
         assert code == 0
         assert "success=" in capsys.readouterr().out
+
+
+class TestTelemetryCommand:
+    def test_summarize_requires_directory(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry", "summarize"])
+
+    def test_train_with_telemetry_then_summarize(self, tmp_path, capsys):
+        policy_path = str(tmp_path / "policy.npz")
+        run_dir = tmp_path / "run"
+        code = main([
+            "train", "-o", policy_path,
+            "--pattern", "fixed", "--ingress", "1",
+            "--horizon", "200", "--seeds", "1", "--updates", "3",
+            "--quiet", "--telemetry", str(run_dir),
+        ])
+        assert code == 0
+        assert "Telemetry written to" in capsys.readouterr().out
+        assert (run_dir / "manifest.json").exists()
+        assert (run_dir / "metrics.jsonl").exists()
+
+        # Every record in the stream validates against the schema.
+        from repro.telemetry import load_stream
+
+        records = load_stream(run_dir / "metrics.jsonl")
+        kinds = {r["kind"] for r in records}
+        assert "train_update" in kinds
+        assert "train_summary" in kinds
+
+        code = main(["telemetry", "summarize", str(run_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Telemetry run" in out
+        assert "name=train" in out
+        assert "training:" in out
+        assert "best agent" in out
+
+    def test_evaluate_with_telemetry(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        code = main([
+            "evaluate", "--algorithm", "sp",
+            "--pattern", "fixed", "--ingress", "1",
+            "--horizon", "300", "--eval-seeds", "2",
+            "--telemetry", str(run_dir),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["telemetry", "summarize", str(run_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulation: 2 runs" in out
+        assert "evaluation[sp]: 2 seeds" in out
