@@ -1,0 +1,254 @@
+"""Inference microbenchmark: decisions/sec of the policy hot path.
+
+Measures what the batched evaluation engine actually amortises — the
+per-decision cost of turning an observation row into an action — for
+batch widths 1, 8, and 32, on real observation vectors collected from
+the default Abilene scenario:
+
+- *serial*: ``policy.act_single`` per row, the historical evaluation
+  path (one batch-1 MLP forward + argmax per decision).
+- *batched(n)*: one :class:`~repro.nn.mlp.MLPInference` workspace
+  forward over ``n`` rows + vectorised argmax with the near-tie
+  fallback margin test — exactly the per-round selection work of
+  :class:`repro.rl.batched.BatchedEpisodeRunner`.
+
+It also times one end-to-end batched vs serial evaluation (simulator
+stepping included) and checks the results are identical.
+
+The report is persisted as ``BENCH_inference.json`` in the repo root
+(override the path with ``REPRO_BENCH_INFERENCE_JSON``).  Thresholds:
+batched throughput must beat serial at every width and scale; at the
+``default``/``paper`` scales batch=32 must deliver the ≥3x speedup the
+engine exists for (the ``smoke`` CI scale only asserts batched ≥ serial,
+since tiny shared runners make timing noisy).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_inference.py``)
+or via pytest (``pytest benchmarks/bench_inference.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _config import SCALE
+
+from repro.core.env import ServiceCoordinationEnv
+from repro.eval.scenarios import base_scenario
+from repro.rl.batched import ARGMAX_TIE_TOLERANCE
+from repro.rl.policy import ActorCriticPolicy
+from repro.rl.training import evaluate_policy
+
+BATCH_WIDTHS = (1, 8, 32)
+
+#: Observation pool size; decisions are measured over repeated sweeps.
+POOL = 512
+
+#: Minimum wall-clock per measurement (repeat sweeps until exceeded).
+MIN_MEASURE_SECONDS = 0.2 if SCALE.name == "smoke" else 0.5
+
+
+def _default_json_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_INFERENCE_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_inference.json"
+
+
+def collect_observations(pool: int = POOL) -> tuple[np.ndarray, ActorCriticPolicy]:
+    """Real observation rows from the default Abilene scenario, gathered
+    by playing episodes with an (untrained) policy."""
+    scenario = base_scenario(pattern="poisson", num_ingress=2, horizon=400.0)
+    env = ServiceCoordinationEnv(scenario, seed=0)
+    policy = ActorCriticPolicy(env.observation_size, env.num_actions, rng=0)
+    rows = np.empty((pool, env.observation_size))
+    count = 0
+    while count < pool:
+        obs = env.reset()
+        done = False
+        while not done and count < pool:
+            rows[count] = obs
+            count += 1
+            obs, _, done, _ = env.step(policy.act_single(obs, deterministic=True))
+    return rows, policy
+
+
+def _measure(fn, decisions_per_sweep: int) -> float:
+    """decisions/sec of ``fn`` (one call = one sweep), best of 3 timings
+    each aggregating sweeps until MIN_MEASURE_SECONDS of wall-clock."""
+    fn()  # warm-up (workspace allocation, BLAS thread spin-up)
+    best = 0.0
+    for _ in range(3):
+        sweeps = 0
+        start = time.perf_counter()
+        while True:
+            fn()
+            sweeps += 1
+            elapsed = time.perf_counter() - start
+            if elapsed >= MIN_MEASURE_SECONDS:
+                break
+        best = max(best, sweeps * decisions_per_sweep / elapsed)
+    return best
+
+
+def measure_serial(policy: ActorCriticPolicy, rows: np.ndarray) -> float:
+    def sweep() -> None:
+        for row in rows:
+            policy.act_single(row, deterministic=True)
+
+    return _measure(sweep, len(rows))
+
+
+def measure_batched(
+    policy: ActorCriticPolicy, rows: np.ndarray, batch: int
+) -> float:
+    """One MLPInference forward + the runner's selection work per chunk."""
+    inference = policy.actor_inference()
+    actions = np.empty(batch, dtype=np.intp)
+    scratch = np.empty((batch, policy.num_actions))
+
+    def sweep() -> None:
+        for start in range(0, len(rows), batch):
+            x = rows[start : start + batch]
+            live = len(x)
+            logits = inference.forward(x)
+            out = actions[:live]
+            np.argmax(logits, axis=1, out=out)
+            # Near-tie margin test (the engine's exactness guard).
+            sel = np.arange(live)
+            top = logits[sel, out]
+            work = scratch[:live]
+            np.copyto(work, logits)
+            work[sel, out] = -np.inf
+            margin = top - work.max(axis=1)
+            for j in np.nonzero(margin <= ARGMAX_TIE_TOLERANCE * (1.0 + np.abs(top)))[0]:
+                actions[j] = int(np.argmax(policy.logits_single(x[j])))
+
+    return _measure(sweep, len(rows))
+
+
+def end_to_end(episodes: int = 4, batch: int = 32) -> dict:
+    """Wall-clock of full evaluate_policy serial vs batched, plus an
+    identity check of the returned metrics."""
+    scenario = base_scenario(pattern="poisson", num_ingress=2, horizon=300.0)
+    policy = ActorCriticPolicy(
+        ServiceCoordinationEnv(scenario, seed=0).observation_size,
+        ServiceCoordinationEnv(scenario, seed=0).num_actions,
+        rng=0,
+    )
+
+    start = time.perf_counter()
+    serial = evaluate_policy(
+        policy, ServiceCoordinationEnv(scenario, seed=5), episodes=episodes
+    )
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = evaluate_policy(
+        policy,
+        ServiceCoordinationEnv(scenario, seed=5),
+        episodes=episodes,
+        batch=batch,
+    )
+    batched_s = time.perf_counter() - start
+    return {
+        "episodes": episodes,
+        "batch": batch,
+        "serial_seconds": serial_s,
+        "batched_seconds": batched_s,
+        "identical_metrics": serial == batched,
+    }
+
+
+def run_bench() -> dict:
+    rows, policy = collect_observations()
+    serial_rate = measure_serial(policy, rows)
+    batched_rates = {
+        batch: measure_batched(policy, rows, batch) for batch in BATCH_WIDTHS
+    }
+    report = {
+        "kind": "inference_bench",
+        "scale": SCALE.name,
+        "scenario": "Abilene/poisson/2-ingress",
+        "obs_dim": int(rows.shape[1]),
+        "num_actions": int(policy.num_actions),
+        "pool": int(len(rows)),
+        "serial_decisions_per_second": serial_rate,
+        "batched_decisions_per_second": {
+            str(batch): rate for batch, rate in batched_rates.items()
+        },
+        "speedup": {
+            str(batch): rate / serial_rate for batch, rate in batched_rates.items()
+        },
+        "end_to_end": end_to_end(),
+    }
+    return report
+
+
+def persist(report: dict) -> Path:
+    path = _default_json_path()
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def render(report: dict) -> str:
+    lines = [
+        "Inference microbenchmark (decisions/sec, "
+        f"{report['scenario']}, obs_dim={report['obs_dim']})",
+        f"  serial act_single : {report['serial_decisions_per_second']:>12.0f}",
+    ]
+    for batch, rate in report["batched_decisions_per_second"].items():
+        speedup = report["speedup"][batch]
+        lines.append(f"  batched (n={batch:>3}) : {rate:>12.0f}  ({speedup:.2f}x)")
+    e2e = report["end_to_end"]
+    lines.append(
+        f"  end-to-end eval ({e2e['episodes']} episodes): "
+        f"serial {e2e['serial_seconds']:.2f}s vs batched {e2e['batched_seconds']:.2f}s "
+        f"(identical metrics: {e2e['identical_metrics']})"
+    )
+    return "\n".join(lines)
+
+
+def check(report: dict) -> None:
+    """The acceptance thresholds (scale-aware; see module docstring)."""
+    serial = report["serial_decisions_per_second"]
+    for batch, rate in report["batched_decisions_per_second"].items():
+        if int(batch) > 1:
+            assert rate >= serial, (
+                f"batched (n={batch}) throughput {rate:.0f}/s fell below "
+                f"serial {serial:.0f}/s"
+            )
+    assert report["end_to_end"]["identical_metrics"], (
+        "batched end-to-end evaluation diverged from the serial path"
+    )
+    if SCALE.name != "smoke":
+        speedup = report["speedup"]["32"]
+        assert speedup >= 3.0, (
+            f"batch=32 speedup {speedup:.2f}x is below the 3x target"
+        )
+
+
+def test_inference_throughput(bench_report):
+    report = run_bench()
+    rendered = render(report)
+    bench_report.append(rendered)
+    print()
+    print(rendered)
+    path = persist(report)
+    print(f"Inference bench JSON written to {path}")
+    check(report)
+
+
+if __name__ == "__main__":
+    report = run_bench()
+    print(render(report))
+    path = persist(report)
+    print(f"Inference bench JSON written to {path}")
+    check(report)

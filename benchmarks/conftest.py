@@ -19,19 +19,21 @@ class BenchReport(list):
     Bench tests ``append`` rendered tables (list behaviour, unchanged)
     and may attach a phase breakdown — the ``to_dict()`` of a
     :class:`repro.telemetry.PhaseTimer` — via :meth:`add_phases`.  When
-    ``REPRO_BENCH_JSON`` names a file, the whole report (sections and
-    phase timings) is written there as JSON at session end.
+    ``REPRO_BENCH_JSON`` names a file, the whole report (sections, phase
+    timings, and the run's performance configuration — scale, workers,
+    eval batch) is written there as JSON at session end.
     """
 
     def __init__(self) -> None:
         super().__init__()
         self.phases: dict = {}
+        self.config: dict = {}
 
     def add_phases(self, name: str, breakdown: dict) -> None:
         self.phases[name] = breakdown
 
     def to_dict(self) -> dict:
-        return {"sections": list(self), "phases": self.phases}
+        return {"config": self.config, "sections": list(self), "phases": self.phases}
 
 
 @pytest.fixture(scope="session")
@@ -42,6 +44,13 @@ def bench_report():
     ``REPRO_BENCH_JSON=/path/report.json`` to also persist the report
     (including per-phase wall-clock breakdowns) as JSON."""
     report = BenchReport()
+    from _config import EVAL_BATCH, SCALE, WORKERS
+
+    report.config = {
+        "scale": SCALE.name,
+        "workers": WORKERS,
+        "eval_batch": EVAL_BATCH,
+    }
     yield report
     if report:
         print("\n\n================ REPRODUCTION REPORT ================")

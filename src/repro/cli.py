@@ -33,6 +33,13 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
                              "(default: $REPRO_WORKERS, else serial)")
 
 
+def _add_eval_batch_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--eval-batch", type=int, default=None,
+                        help="in-process lockstep width for batched policy "
+                             "evaluation; composes with --workers "
+                             "(default: $REPRO_EVAL_BATCH, else serial)")
+
+
 def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--telemetry", metavar="DIR", default=None,
                         help="write a run manifest + structured JSONL metric "
@@ -102,8 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--updates", type=int, default=400,
                        help="gradient updates per seed")
     train.add_argument("--algorithm", default="acktr", choices=["acktr", "a2c"])
+    train.add_argument("--eval-episodes", type=int, default=1,
+                       help="greedy evaluation episodes per seed for "
+                            "best-agent selection (batched across "
+                            "--eval-batch lockstep slots when > 1)")
     train.add_argument("--quiet", action="store_true")
     _add_workers_arg(train)
+    _add_eval_batch_arg(train)
     _add_telemetry_arg(train)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a policy on a scenario")
@@ -123,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seeds", type=int, default=2)
     compare.add_argument("--eval-seeds", type=int, default=3)
     _add_workers_arg(compare)
+    _add_eval_batch_arg(compare)
     _add_telemetry_arg(compare)
 
     telemetry = sub.add_parser(
@@ -164,7 +177,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         seeds=tuple(range(args.seeds)),
         updates_per_seed=args.updates,
         n_steps=64,
+        eval_episodes=args.eval_episodes,
         workers=args.workers,
+        eval_batch=args.eval_batch,
     )
     if not args.quiet:
         print(f"Training on {args.topology} / {args.pattern} / "
@@ -250,6 +265,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             train_updates=args.updates,
             n_steps=64,
             workers=args.workers,
+            eval_batch=args.eval_batch,
         ),
     )
     eval_seeds = range(1000, 1000 + args.eval_seeds)

@@ -71,7 +71,9 @@ class ServiceCoordinationEnv:
         config: Scenario description.
         seed: Base seed; each :meth:`reset` draws a fresh child seed so
             parallel env copies and successive episodes see different
-            traffic realisations.
+            traffic realisations.  Episode ``k``'s traffic depends only on
+            ``(seed, k)`` — see :meth:`reset_episode` — so clones can
+            replay the exact episode stream in any interleaving.
     """
 
     def __init__(self, config: CoordinationEnvConfig, seed: Optional[int] = None) -> None:
@@ -81,7 +83,21 @@ class ServiceCoordinationEnv:
         self.reward_function = RewardFunction(config.network, config.reward)
         self.observation_size = self.observation_adapter.size
         self.num_actions = self.action_adapter.num_actions
-        self._seed_seq = np.random.SeedSequence(seed)
+        seed_seq = np.random.SeedSequence(seed)
+        self._entropy = seed_seq.entropy
+        self._spawn_key = seed_seq.spawn_key
+        self._next_episode = 0
+        #: When set (a float64 vector of shape ``(observation_size,)``),
+        #: observations are written into this array in place and it is
+        #: returned from reset/step — the batched evaluation engine binds
+        #: one row of its decision matrix per env clone.
+        self.observation_out: Optional[np.ndarray] = None
+        #: When False (and ``observation_out`` is unset), reset/step return
+        #: the observation adapter's scratch buffer instead of a copy; only
+        #: for drivers that consume the vector before the next build on
+        #: this env's adapter (e.g. RolloutRunner, which copies rows into
+        #: its preallocated batch buffers immediately).
+        self.copy_observations = True
         self._sim: Optional[Simulator] = None
         self._decision: Optional[DecisionPoint] = None
         self._episode_done = True
@@ -99,10 +115,71 @@ class ServiceCoordinationEnv:
     def current_decision(self) -> Optional[DecisionPoint]:
         return self._decision
 
+    @property
+    def next_episode_index(self) -> int:
+        """Absolute index of the episode the next :meth:`reset` will play."""
+        return self._next_episode
+
+    def episode_rng(self, index: int) -> np.random.Generator:
+        """The traffic generator for absolute episode ``index``.
+
+        Reconstructs the ``index``-th spawn child of the env's base
+        :class:`numpy.random.SeedSequence` explicitly (spawn child ``k``
+        is the sequence with ``spawn_key = parent_key + (k,)``), so any
+        episode can be replayed without consuming the parent's spawn
+        counter — the basis of :meth:`reset_episode` and :meth:`clone`.
+        """
+        seq = np.random.SeedSequence(
+            entropy=self._entropy, spawn_key=(*self._spawn_key, index)
+        )
+        return np.random.default_rng(seq)
+
+    def consume_episodes(self, count: int) -> None:
+        """Advance the episode counter without playing — the master env's
+        bookkeeping when clones replay its next ``count`` episodes."""
+        if count < 0:
+            raise ValueError(f"cannot consume {count} episodes")
+        self._next_episode += count
+
+    def clone(self) -> "ServiceCoordinationEnv":
+        """An independent env replaying this env's episode stream.
+
+        The clone shares the immutable pieces (config, observation /
+        action / reward adapters) but has its own simulator state and
+        episode counter, so many clones can run logically-parallel
+        episodes.  Because the observation adapter (and its scratch
+        buffer) is shared, interleaved clones must not rely on
+        ``copy_observations = False``; bind a private ``observation_out``
+        row instead — that path bypasses the shared scratch entirely.
+        """
+        twin = self.__class__.__new__(self.__class__)
+        twin.config = self.config
+        twin.observation_adapter = self.observation_adapter
+        twin.action_adapter = self.action_adapter
+        twin.reward_function = self.reward_function
+        twin.observation_size = self.observation_size
+        twin.num_actions = self.num_actions
+        twin._entropy = self._entropy
+        twin._spawn_key = self._spawn_key
+        twin._next_episode = self._next_episode
+        twin.observation_out = None
+        twin.copy_observations = self.copy_observations
+        twin._sim = None
+        twin._decision = None
+        twin._episode_done = True
+        return twin
+
     def reset(self) -> np.ndarray:
         """Start a new episode; returns the first decision's observation."""
-        child = self._seed_seq.spawn(1)[0]
-        rng = np.random.default_rng(child)
+        return self.reset_episode(self._next_episode)
+
+    def reset_episode(self, index: int) -> np.ndarray:
+        """Start absolute episode ``index`` — the traffic realisation the
+        ``index + 1``-th :meth:`reset` of a same-seed env would play.
+        Sets the counter so a subsequent plain ``reset()`` plays
+        ``index + 1``."""
+        rng = self.episode_rng(index)
+        self._next_episode = index + 1
         traffic = self.config.traffic_factory(rng)
         self._sim = Simulator(
             self.config.network, self.config.catalog, traffic, self.config.sim_config
@@ -113,8 +190,22 @@ class ServiceCoordinationEnv:
         if self._decision is None:
             # Degenerate scenario with no flows before the horizon: return
             # a zero observation; the first step will terminate immediately.
-            return np.zeros(self.observation_size)
-        return self.observation_adapter.build(self._decision, self._sim)
+            return self._zero_observation()
+        return self._observe(self._decision)
+
+    def _observe(self, decision: DecisionPoint) -> np.ndarray:
+        return self.observation_adapter.build(
+            decision,
+            self._sim,
+            out=self.observation_out,
+            copy=self.copy_observations,
+        )
+
+    def _zero_observation(self) -> np.ndarray:
+        if self.observation_out is not None:
+            self.observation_out[:] = 0.0
+            return self.observation_out
+        return np.zeros(self.observation_size)
 
     def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
         """Resolve the pending decision and advance to the next one.
@@ -145,7 +236,7 @@ class ServiceCoordinationEnv:
                 "flows_dropped": metrics.flows_dropped,
                 "avg_end_to_end_delay": metrics.avg_end_to_end_delay,
             }
-            obs = np.zeros(self.observation_size)
+            obs = self._zero_observation()
         else:
-            obs = self.observation_adapter.build(next_decision, self._sim)
+            obs = self._observe(next_decision)
         return obs, float(reward), self._episode_done, info

@@ -23,7 +23,7 @@ is what allows training a single network from all agents' experience.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -95,6 +95,13 @@ class ObservationAdapter:
         # their clipped/concatenated intermediates.
         self._scratch = np.empty(self.size, dtype=np.float64)
         self._neighbors = {v: tuple(network.neighbors(v)) for v in network.node_names}
+        # Per-(node, egress) shortest-path-via-neighbor delay arrays, filled
+        # lazily on first use: build() then reads one cached vector instead
+        # of doing a dict lookup per neighbor per decision.  Each entry is
+        # (via_delays, non_finite_indices_or_None).
+        self._delay_via: Dict[
+            Tuple[str, str], Tuple[np.ndarray, Optional[np.ndarray]]
+        ] = {}
 
     @property
     def part_slices(self) -> Dict[str, slice]:
@@ -114,22 +121,70 @@ class ObservationAdapter:
 
     # ------------------------------------------------------------------
 
-    def build(self, decision: DecisionPoint, sim: Simulator) -> np.ndarray:
+    def _delays_via(
+        self, node: str, egress: str
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Cached ``link(node, nb).delay + spd(nb, egress)`` per neighbor,
+        plus the indices of non-finite entries (unreachable egress), or
+        None when all entries are finite (the common case)."""
+        key = (node, egress)
+        entry = self._delay_via.get(key)
+        if entry is None:
+            via = np.array(
+                [
+                    self.network.link(node, nb).delay
+                    + self.network.shortest_path_delay(nb, egress)
+                    for nb in self._neighbors[node]
+                ],
+                dtype=np.float64,
+            )
+            bad = np.nonzero(~np.isfinite(via))[0]
+            entry = (via, bad if bad.size else None)
+            self._delay_via[key] = entry
+        return entry
+
+    def build(
+        self,
+        decision: DecisionPoint,
+        sim: Simulator,
+        out: Optional[np.ndarray] = None,
+        copy: bool = True,
+    ) -> np.ndarray:
         """Observation vector for a pending decision.
 
         Numerically identical to ``build_parts(...).concatenate()``, but
         assembled in the preallocated scratch buffer: the hot path pays a
-        single allocation (the returned copy) per decision.
+        single allocation (the returned copy) per decision — or none at
+        all with ``out=`` / ``copy=False``.
+
+        Args:
+            out: Optional destination vector of shape ``(size,)`` written
+                in place and returned — lets the batched evaluation engine
+                build observations directly into rows of its ``(M, size)``
+                decision matrix.
+            copy: Only meaningful when ``out`` is None.  The default True
+                returns a private copy; ``copy=False`` returns the
+                adapter's internal scratch buffer, which stays valid only
+                until the next ``build()`` on this adapter — strictly for
+                callers (RolloutRunner, the batched runner) that consume
+                or copy the vector before then.
         """
         flow, node, now = decision.flow, decision.node, decision.time
         neighbors = self._neighbors[node]
         d = self.degree
-        out = self._scratch
+        if out is None:
+            target = self._scratch
+        else:
+            if out.shape != (self.size,):
+                raise ValueError(
+                    f"observation out= must have shape ({self.size},), got {out.shape}"
+                )
+            target = out
         state = sim.state
 
         # F_f = <p̂_f, τ̂_f>
-        out[0] = flow.progress
-        out[1] = flow.normalized_remaining_time(now)
+        target[0] = flow.progress
+        target[1] = flow.normalized_remaining_time(now)
 
         # R^L_v: free rate minus λ_f per outgoing link, clipped to [-1, 1].
         rate = flow.data_rate
@@ -137,9 +192,9 @@ class ObservationAdapter:
         i = 2
         for nb in neighbors:
             value = (state.link_free(node, nb) - rate) / link_norm
-            out[i] = -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
+            target[i] = -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
             i += 1
-        out[i : 2 + d] = DUMMY
+        target[i : 2 + d] = DUMMY
 
         # R^V_v: free compute minus r_c(λ_f) at v and neighbors, clipped.
         if flow.fully_processed:
@@ -152,44 +207,49 @@ class ObservationAdapter:
         node_norm = self._max_node_capacity
         i = 2 + d
         value = (state.node_free(node) - demand) / node_norm
-        out[i] = -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
+        target[i] = -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
         i += 1
         for nb in neighbors:
             value = (state.node_free(nb) - demand) / node_norm
-            out[i] = -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
+            target[i] = -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
             i += 1
-        out[i : 3 + 2 * d] = DUMMY
+        target[i : 3 + 2 * d] = DUMMY
 
         # D_{v,f}: deadline margin via each neighbor (no upper clip).
+        # Same arithmetic as the scalar loop in _delays_to_egress, applied
+        # to the cached per-(node, egress) delay vector.
         remaining = flow.remaining_time(now)
         i = 3 + 2 * d
-        for nb in neighbors:
-            via = self.network.link(node, nb).delay + self.network.shortest_path_delay(
-                nb, flow.egress
-            )
-            if remaining <= 0 or not np.isfinite(via):
-                out[i] = -1.0
-            else:
-                margin = (remaining - via) / remaining
-                out[i] = -1.0 if margin < -1.0 else margin
-            i += 1
-        out[i : 3 + 3 * d] = DUMMY
+        k = len(neighbors)
+        seg = target[i : i + k]
+        if remaining <= 0:
+            seg[:] = -1.0
+        else:
+            via, bad = self._delays_via(node, flow.egress)
+            np.subtract(remaining, via, out=seg)
+            seg /= remaining
+            np.maximum(seg, -1.0, out=seg)
+            if bad is not None:
+                seg[bad] = -1.0
+        target[i + k : 3 + 3 * d] = DUMMY
 
         # X_v: instance of the requested component at v / neighbors.
         i = 3 + 3 * d
         if component is None:
-            out[i : i + 1 + len(neighbors)] = 0.0
+            target[i : i + 1 + len(neighbors)] = 0.0
             i += 1 + len(neighbors)
         else:
             name = component.name
-            out[i] = 1.0 if state.has_instance(node, name) else 0.0
+            target[i] = 1.0 if state.has_instance(node, name) else 0.0
             i += 1
             for nb in neighbors:
-                out[i] = 1.0 if state.has_instance(nb, name) else 0.0
+                target[i] = 1.0 if state.has_instance(nb, name) else 0.0
                 i += 1
-        out[i : self.size] = DUMMY
+        target[i : self.size] = DUMMY
 
-        return out.copy()
+        if out is not None or not copy:
+            return target
+        return target.copy()
 
     def build_parts(self, decision: DecisionPoint, sim: Simulator) -> ObservationParts:
         """The five observation components for a pending decision."""

@@ -63,6 +63,10 @@ class TrainingConfig:
         eval_episodes: Greedy episodes per seed for best-agent selection.
         workers: Worker processes for the per-seed fan-out (None reads
             ``REPRO_WORKERS``; 1 = serial).
+        eval_batch: In-process lockstep width for each seed's selection
+            evaluation (None reads ``REPRO_EVAL_BATCH``; 1 = serial);
+            composes with ``workers``.  See
+            :class:`repro.rl.batched.BatchedEpisodeRunner`.
         seed_timeout: Per-seed wall-clock limit in seconds (parallel
             mode); None = no limit.
     """
@@ -80,6 +84,7 @@ class TrainingConfig:
     max_grad_norm: float = 0.5
     eval_episodes: int = 1
     workers: Optional[int] = None
+    eval_batch: Optional[int] = None
     seed_timeout: Optional[float] = None
 
     def to_acktr_config(self) -> ACKTRConfig:
@@ -143,6 +148,7 @@ def train_coordinator(
         verbose=verbose,
         workers=training.workers,
         timeout=training.seed_timeout,
+        eval_batch=training.eval_batch,
         recorder=recorder,
     )
     coordinator = DistributedCoordinator(

@@ -281,7 +281,10 @@ class SuiteConfig:
     The defaults are laptop-scale (minutes); raise them toward the paper's
     budget (k=10 seeds, 30 eval seeds, T=20000) for full-fidelity runs.
     ``workers`` fans both the per-seed training runs and the per-seed
-    evaluations out across processes (None reads ``REPRO_WORKERS``).
+    evaluations out across processes (None reads ``REPRO_WORKERS``);
+    ``eval_batch`` additionally batches the in-process selection
+    evaluations of the DRL training runs (None reads
+    ``REPRO_EVAL_BATCH``) — processes × in-process batching compose.
     """
 
     train_seeds: Sequence[int] = (0, 1)
@@ -291,6 +294,7 @@ class SuiteConfig:
     n_envs: int = 4
     n_steps: int = 32
     workers: Optional[int] = None
+    eval_batch: Optional[int] = None
 
 
 @dataclass
@@ -433,6 +437,7 @@ def build_algorithm_suite(
             n_envs=suite.n_envs,
             n_steps=suite.n_steps,
             workers=suite.workers,
+            eval_batch=suite.eval_batch,
         )
         result = train_coordinator(env_config, training, verbose=verbose)
         coordinator = result.coordinator

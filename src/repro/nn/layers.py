@@ -66,6 +66,24 @@ class Dense:
         self.last_input_aug = aug
         return aug @ self.weight
 
+    def forward_into(
+        self,
+        aug: np.ndarray,
+        out: np.ndarray,
+        weight: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Inference-only forward ``out[:] = aug @ W`` with zero allocation.
+
+        ``aug`` is the caller-maintained bias-augmented input (its last
+        column must already be 1).  Unlike :meth:`forward` this neither
+        allocates nor touches the training caches, so it is safe to run
+        between a training forward and its backward.  ``weight`` lets a
+        caller substitute a cast copy (float32 inference) for
+        ``self.weight``.
+        """
+        np.matmul(aug, self.weight if weight is None else weight, out=out)
+        return out
+
     def backward(self, dz: np.ndarray, accumulate: bool = False) -> np.ndarray:
         """Given ``dL/dz``, set ``self.grad`` and return ``dL/dx``.
 
@@ -95,6 +113,10 @@ class Activation:
     def backward(self, dout: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def forward_inplace(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only forward overwriting ``x``; no backward cache."""
+        raise NotImplementedError
+
 
 class Tanh(Activation):
     """tanh — the paper's hidden activation (2x256 tanh units)."""
@@ -109,6 +131,9 @@ class Tanh(Activation):
     def backward(self, dout: np.ndarray) -> np.ndarray:
         assert self._out is not None, "backward before forward"
         return dout * (1.0 - self._out**2)
+
+    def forward_inplace(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x, out=x)
 
 
 class ReLU(Activation):
@@ -125,6 +150,9 @@ class ReLU(Activation):
         assert self._mask is not None, "backward before forward"
         return dout * self._mask
 
+    def forward_inplace(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0, out=x)
+
 
 class Identity(Activation):
     """No-op activation (for linear output heads)."""
@@ -134,3 +162,6 @@ class Identity(Activation):
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         return dout
+
+    def forward_inplace(self, x: np.ndarray) -> np.ndarray:
+        return x

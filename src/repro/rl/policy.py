@@ -12,7 +12,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.nn.distributions import Categorical
-from repro.nn.mlp import MLP
+from repro.nn.mlp import MLP, MLPInference
 
 __all__ = ["ActorCriticPolicy"]
 
@@ -88,6 +88,23 @@ class ActorCriticPolicy:
         if rng is None:
             raise ValueError("stochastic act_single needs an rng")
         return int(dist.sample(rng)[0])
+
+    def logits_single(self, obs: np.ndarray) -> np.ndarray:
+        """Actor logits for one observation through the exact batch-1
+        forward that :meth:`act_single` runs.
+
+        :class:`~repro.nn.distributions.Categorical` acts on raw logits
+        (mode = argmax, sample = argmax of logits + Gumbel noise), so
+        these logits fully determine act_single's choice — the reference
+        the batched evaluation engine recomputes near argmax ties to stay
+        bit-identical to the serial path.
+        """
+        return self.actor.forward(np.asarray(obs, dtype=np.float64)[None, :])[0]
+
+    def actor_inference(self, dtype=np.float64) -> MLPInference:
+        """Workspace-backed batched actor forward for evaluation loops
+        (see :class:`~repro.nn.mlp.MLPInference` for dtype semantics)."""
+        return MLPInference(self.actor, dtype=dtype)
 
     # ------------------------------------------------------------------
 

@@ -78,7 +78,18 @@ class ParallelRunner:
         self.policy = policy
         self.n_steps = n_steps
         self.rng = rng
-        self._obs = np.stack([env.reset() for env in envs])
+        # The runner copies every observation into its preallocated
+        # buffers before the env builds the next one, so envs that
+        # support it may return their adapter's scratch buffer instead
+        # of a fresh copy (see ObservationAdapter.build copy=False).
+        for env in envs:
+            if getattr(env, "copy_observations", None) is True:
+                env.copy_observations = False
+        self._obs = np.empty(
+            (len(envs), envs[0].observation_size), dtype=np.float64
+        )
+        for i, env in enumerate(envs):
+            self._obs[i] = env.reset()
         self._episode_rewards = np.zeros(len(envs))
         self._episode_lengths = np.zeros(len(envs), dtype=np.int64)
         # Per-step bookkeeping, allocated once: collect() fills these in

@@ -66,28 +66,68 @@ def evaluate_policy(
     episodes: int = 1,
     deterministic: bool = True,
     rng: Optional[np.random.Generator] = None,
+    batch: int = 1,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Dict[str, float]:
     """Run ``episodes`` full episodes; returns mean reward and final infos.
 
     The coordination environment reports the simulation's success ratio in
     the terminal ``info`` dict; when present it is averaged into the
     result under ``"success_ratio"``.
+
+    Args:
+        batch: Lockstep width for in-process batched inference.  The
+            default 1 drives the env serially through ``act_single`` —
+            the historical path.  ``batch > 1`` requires an env
+            implementing the episode-replay protocol (``clone`` /
+            ``reset_episode``; :class:`ServiceCoordinationEnv` does) and
+            amortises the per-decision forward over up to ``batch``
+            episodes via :class:`repro.rl.batched.BatchedEpisodeRunner`;
+            per-episode metrics stay bit-identical to the serial path
+            for float64 policies.  Envs without the protocol silently
+            fall back to the serial loop.  In stochastic batched mode
+            each episode consumes its own spawned child of ``rng``
+            (instead of the serial loop's single shared stream), so
+            sampled trajectories match the batched runner's serial
+            reference, not this function's ``batch=1`` path.
+        recorder: Telemetry sink; batched runs emit one ``eval_batch``
+            record with round/batch-size/forward-time statistics.
     """
+    from repro.rl.batched import BatchedEpisodeRunner, supports_batched_evaluation
+
     rng = rng or np.random.default_rng(0)
-    total_rewards: List[float] = []
-    success_ratios: List[float] = []
-    for _ in range(episodes):
-        obs = env.reset()
-        done = False
-        total = 0.0
-        info: Dict = {}
-        while not done:
-            action = policy.act_single(obs, rng=rng, deterministic=deterministic)
-            obs, reward, done, info = env.step(action)
-            total += reward
-        total_rewards.append(total)
-        if "success_ratio" in info:
-            success_ratios.append(float(info["success_ratio"]))
+    if batch > 1 and episodes > 1 and supports_batched_evaluation(env):
+        runner = BatchedEpisodeRunner(
+            policy,
+            env,
+            episodes=episodes,
+            batch=batch,
+            deterministic=deterministic,
+            rng=rng,
+            recorder=recorder,
+        )
+        outcomes, _ = runner.run()
+        total_rewards = [o.total_reward for o in outcomes]
+        success_ratios = [
+            float(o.info["success_ratio"])
+            for o in outcomes
+            if "success_ratio" in o.info
+        ]
+    else:
+        total_rewards = []
+        success_ratios = []
+        for _ in range(episodes):
+            obs = env.reset()
+            done = False
+            total = 0.0
+            info: Dict = {}
+            while not done:
+                action = policy.act_single(obs, rng=rng, deterministic=deterministic)
+                obs, reward, done, info = env.step(action)
+                total += reward
+            total_rewards.append(total)
+            if "success_ratio" in info:
+                success_ratios.append(float(info["success_ratio"]))
     out = {"mean_episode_reward": float(np.mean(total_rewards))}
     if success_ratios:
         out["success_ratio"] = float(np.mean(success_ratios))
@@ -104,6 +144,8 @@ class _SeedTask:
     seed: int
     updates: int
     eval_episodes: int
+    #: Lockstep width of the greedy selection evaluation (1 = serial).
+    eval_batch: int = 1
     #: Worker-local telemetry stream (merged into the parent's after the
     #: batch; see :meth:`repro.telemetry.JsonlRecorder.for_task`).
     recorder: Recorder = NULL_RECORDER
@@ -121,6 +163,8 @@ def _run_seed_task(task: _SeedTask) -> SeedResult:
         task.env_factory(),
         episodes=task.eval_episodes,
         rng=np.random.default_rng(task.seed),
+        batch=task.eval_batch,
+        recorder=task.recorder,
     )
     if task.recorder.enabled:
         task.recorder.emit(
@@ -149,6 +193,7 @@ def train_multi_seed(
     verbose: bool = False,
     workers: Optional[int] = None,
     timeout: Optional[float] = None,
+    eval_batch: Optional[int] = None,
     recorder: Recorder = NULL_RECORDER,
 ) -> MultiSeedResult:
     """Train ``len(seeds)`` agents and select the best (Alg. 1, line 13).
@@ -168,6 +213,11 @@ def train_multi_seed(
         workers: Worker processes for the per-seed fan-out (default:
             ``REPRO_WORKERS``, serial when unset).
         timeout: Per-seed wall-clock limit in seconds (parallel mode).
+        eval_batch: In-process lockstep width of each seed's selection
+            evaluation (default: ``REPRO_EVAL_BATCH``, serial when
+            unset); composes with ``workers`` — processes × batching.
+            Deterministic evaluation results are bit-identical either
+            way (see :func:`evaluate_policy`).
         recorder: Telemetry sink.  When enabled, each seed's per-update
             ``train_update`` and final ``seed_result`` records stream
             into a worker-local file and are merged back here in seed
@@ -183,6 +233,9 @@ def train_multi_seed(
     if algorithm == "acktr" and not isinstance(config, ACKTRConfig):
         config = ACKTRConfig(**config.__dict__)
     seeds = list(seeds)
+    from repro.rl.batched import resolve_eval_batch
+
+    eval_batch = resolve_eval_batch(eval_batch)
 
     # Each seed's trainer makes n_envs factory calls plus one for the
     # greedy evaluation env; an EnvBuilder lets every seed replay its own
@@ -209,6 +262,7 @@ def train_multi_seed(
                 seed=seed,
                 updates=updates_per_seed,
                 eval_episodes=eval_episodes,
+                eval_batch=eval_batch,
                 recorder=(
                     task_recorders[index] if task_recorders else NULL_RECORDER
                 ),

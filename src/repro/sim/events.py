@@ -10,9 +10,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum, auto
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.traffic.flows import Flow, FlowSpec
 
@@ -44,7 +43,6 @@ class EventKind(Enum):
     FLOW_EXPIRY = auto()
 
 
-@dataclass
 class Event:
     """One scheduled event.
 
@@ -56,28 +54,73 @@ class Event:
     - RELEASE_NODE / RELEASE_LINK: an allocation record
       (:class:`repro.sim.state.Allocation`)
     - INSTANCE_TIMEOUT: ``(node_name, component_name, due_time)``
+
+    ``cancelled`` is a property rather than a plain attribute: flipping it
+    while the event sits in an :class:`EventQueue` keeps the queue's live
+    count exact, so ``len(queue)`` stays O(1) no matter how many lazy
+    cancellations pile up in the heap.
     """
 
-    time: float
-    kind: EventKind
-    payload: Any = None
-    #: Extra context (e.g. the node for PROCESSING_DONE / LINK_ARRIVAL).
-    node: Optional[str] = None
-    #: Set to True to make the event a no-op when popped (cheap cancel).
-    cancelled: bool = False
+    __slots__ = ("time", "kind", "payload", "node", "_cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        kind: EventKind,
+        payload: Any = None,
+        node: Optional[str] = None,
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.kind = kind
+        self.payload = payload
+        #: Extra context (e.g. the node for PROCESSING_DONE / LINK_ARRIVAL).
+        self.node = node
+        self._cancelled = bool(cancelled)
+        self._queue: Optional["EventQueue"] = None
+
+    @property
+    def cancelled(self) -> bool:
+        """Set to True to make the event a no-op when popped (cheap cancel)."""
+        return self._cancelled
+
+    @cancelled.setter
+    def cancelled(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._cancelled and self._queue is not None:
+            self._queue._live += -1 if value else 1
+        self._cancelled = value
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, kind={self.kind!r}, "
+            f"payload={self.payload!r}, node={self.node!r}, "
+            f"cancelled={self._cancelled!r})"
+        )
 
 
 class EventQueue:
-    """Time-ordered event queue with deterministic FIFO tie-breaking."""
+    """Time-ordered event queue with deterministic FIFO tie-breaking.
+
+    Cancelled entries stay in the heap (lazy deletion) but a live-event
+    counter — updated on push/pop and by the :attr:`Event.cancelled`
+    setter — keeps ``len()`` and ``bool()`` O(1).
+    """
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, Event]] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def push(self, event: Event) -> Event:
         """Schedule ``event``; returns it (handy for keeping cancel handles)."""
         if event.time < 0:
             raise ValueError(f"cannot schedule event in negative time: {event.time}")
+        if event._queue is not None:
+            raise ValueError("event is already scheduled in a queue")
+        event._queue = self
+        if not event._cancelled:
+            self._live += 1
         heapq.heappush(self._heap, (event.time, next(self._counter), event))
         return event
 
@@ -85,18 +128,21 @@ class EventQueue:
         """Remove and return the earliest non-cancelled event, or None."""
         while self._heap:
             _, _, event = heapq.heappop(self._heap)
-            if not event.cancelled:
+            event._queue = None
+            if not event._cancelled:
+                self._live -= 1
                 return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest non-cancelled event, or None when empty."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
+        while self._heap and self._heap[0][2]._cancelled:
+            _, _, event = heapq.heappop(self._heap)
+            event._queue = None
         return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
-        return sum(1 for _, _, e in self._heap if not e.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return self.peek_time() is not None
+        return self._live > 0

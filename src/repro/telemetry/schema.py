@@ -42,6 +42,17 @@ Record kinds
     Wall-clock accounting of one parallel task / one fan-out batch
     (mirrors :class:`repro.parallel.timing.TimingReport`).
 
+``eval_batch``
+    One batched-evaluation run (:class:`repro.rl.batched.BatchedEpisodeRunner`):
+    ``batch`` (configured lockstep width), ``episodes``, ``rounds``
+    (lockstep rounds = policy forwards), ``decisions`` (total actions
+    selected); optionally ``mean_round_batch``/``max_round_batch``,
+    ``round_batches`` (per-round live-slot counts, truncated),
+    ``tie_fallbacks`` (rows recomputed through the serial forward near
+    argmax ties), ``deterministic``, ``dtype``, ``forward_seconds``
+    (wall-clock inside policy forwards), ``wall_seconds``, and
+    ``decisions_per_second``.
+
 ``phase``
     One named wall-clock phase (e.g. ``train`` vs ``evaluate`` in a
     benchmark): ``name``, ``seconds``.
@@ -89,6 +100,8 @@ TIMING_FIELDS = frozenset(
         "serial_seconds",
         "speedup",
         "utilization",
+        "forward_seconds",
+        "decisions_per_second",
     }
 )
 
@@ -135,6 +148,12 @@ RECORD_SCHEMAS: Dict[str, Dict[str, Any]] = {
         "mean_success": _NUM,
         "mean_delay": _NUM,
         "delay_seeds_excluded": _INT,
+    },
+    "eval_batch": {
+        "batch": _INT,
+        "episodes": _INT,
+        "rounds": _INT,
+        "decisions": _INT,
     },
     "task_timing": {
         "label": str,

@@ -177,6 +177,28 @@ def summarize_run(directory: os.PathLike) -> str:
             f"success {_fmt(float(agg['mean_success']))} | "
             f"delay {_fmt(float(agg['mean_delay']), '.1f')}{suffix}"
         )
+    evals = by_kind.get("eval_batch", [])
+    if evals:
+        total_decisions = sum(int(r["decisions"]) for r in evals)
+        total_rounds = sum(int(r["rounds"]) for r in evals)
+        fallbacks = sum(int(r.get("tie_fallbacks", 0)) for r in evals)
+        batches = sorted({int(r["batch"]) for r in evals})
+        mean_round = total_decisions / total_rounds if total_rounds else 0.0
+        forward = sum(
+            float(r["forward_seconds"]) for r in evals if "forward_seconds" in r
+        )
+        rate = [
+            float(r["decisions_per_second"])
+            for r in evals
+            if "decisions_per_second" in r
+        ]
+        lines.append(
+            f"batched eval: {len(evals)} run(s) batch={batches} | "
+            f"{total_decisions} decisions in {total_rounds} rounds "
+            f"(mean {mean_round:.1f}/round, {fallbacks} tie fallbacks) | "
+            f"forward {forward:.2f}s"
+            + (f" | {_mean(rate):.0f} decisions/s" if rate else "")
+        )
     for batch in by_kind.get("batch_timing", []):
         lines.append(
             f"batch {batch['name']}: {batch['mode']} "

@@ -237,3 +237,48 @@ class TestRangesAndPadding:
         parts = adapter.build_parts(decision, sim)
         assert np.sum(parts.link_utilization == -1.0) == 3
         assert np.sum(parts.delays_to_egress == -1.0) == 3
+
+
+class TestBuildOutputModes:
+    """`out=` / `copy=` semantics of build(): the batched evaluation
+    engine writes observations into caller-owned matrix rows; the default
+    must stay a safe, caller-owned copy."""
+
+    def test_default_returns_independent_copy(self):
+        net, catalog, sim, adapter, decision = setup_line()
+        first = adapter.build(decision, sim)
+        second = adapter.build(decision, sim)
+        assert np.array_equal(first, second)
+        first[:] = -99.0
+        assert not np.array_equal(first, adapter.build(decision, sim))
+
+    def test_copy_false_returns_scratch_view(self):
+        net, catalog, sim, adapter, decision = setup_line()
+        expected = adapter.build(decision, sim)
+        fast = adapter.build(decision, sim, copy=False)
+        assert np.array_equal(fast, expected)
+        # Same buffer comes back on the next copy-free build.
+        assert adapter.build(decision, sim, copy=False) is fast
+
+    def test_out_writes_into_caller_row(self):
+        net, catalog, sim, adapter, decision = setup_line()
+        expected = adapter.build(decision, sim)
+        matrix = np.full((3, adapter.size), np.nan)
+        returned = adapter.build(decision, sim, out=matrix[1])
+        assert returned.base is matrix
+        assert np.array_equal(matrix[1], expected)
+        assert np.all(np.isnan(matrix[0])) and np.all(np.isnan(matrix[2]))
+
+    def test_out_shape_checked(self):
+        net, catalog, sim, adapter, decision = setup_line()
+        with pytest.raises(ValueError):
+            adapter.build(decision, sim, out=np.zeros(adapter.size + 1))
+
+    def test_vectorized_delay_part_bitwise_equal(self):
+        """The cached per-(node, egress) delay arrays must reproduce the
+        scalar formula bit for bit, including the -1 clamps."""
+        net, catalog, sim, adapter, decision = setup_line(deadline=7.0)
+        fresh = ObservationAdapter(net, catalog)
+        expected = fresh.build_parts(decision, sim).delays_to_egress
+        sl = adapter.part_slices["delays"]
+        assert np.array_equal(adapter.build(decision, sim)[sl], expected)

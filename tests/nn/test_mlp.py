@@ -98,3 +98,109 @@ class TestParameters:
         other.load(path)
         x = np.random.default_rng(0).normal(size=(5, 4))
         assert np.allclose(mlp.forward(x), other.forward(x))
+
+
+class TestMLPInference:
+    """Workspace-backed inference path vs the allocating training forward."""
+
+    def _pair(self, hidden=(16, 8), rng=5):
+        from repro.nn.mlp import MLPInference
+
+        mlp = MLP(6, list(hidden), 4, rng=rng)
+        return mlp, MLPInference(mlp)
+
+    def test_float64_bitwise_equal_to_training_forward(self):
+        mlp, inference = self._pair()
+        x = np.random.default_rng(0).normal(size=(9, 6))
+        assert np.array_equal(inference.forward(x), mlp.forward(x))
+
+    def test_prefix_batches_reuse_workspace(self):
+        mlp, inference = self._pair()
+        rng = np.random.default_rng(1)
+        big = rng.normal(size=(32, 6))
+        inference.forward(big)  # allocate to capacity 32
+        for n in (32, 17, 5, 1):
+            x = rng.normal(size=(n, 6))
+            out = inference.forward(x)
+            assert out.shape == (n, 4)
+            assert np.array_equal(out, mlp.forward(x))
+
+    def test_result_view_invalidated_by_next_call(self):
+        """The returned array is a workspace view — callers must copy
+        before the next forward (documented contract)."""
+        mlp, inference = self._pair()
+        rng = np.random.default_rng(2)
+        a = inference.forward(rng.normal(size=(3, 6)))
+        snapshot = a.copy()
+        inference.forward(rng.normal(size=(3, 6)))
+        assert not np.array_equal(a, snapshot)
+
+    def test_tracks_inplace_weight_updates(self):
+        mlp, inference = self._pair()
+        x = np.random.default_rng(3).normal(size=(4, 6))
+        before = inference.forward(x).copy()
+        mlp.parameters[0] += 0.5  # optimiser-style in-place step
+        after = inference.forward(x)
+        assert not np.array_equal(before, after)
+        assert np.array_equal(after, mlp.forward(x))
+
+    def test_tracks_set_parameters_rebinding(self):
+        mlp, inference = self._pair()
+        donor = MLP(6, [16, 8], 4, rng=99)
+        mlp.set_parameters(donor.copy_parameters())
+        x = np.random.default_rng(4).normal(size=(4, 6))
+        assert np.array_equal(inference.forward(x), mlp.forward(x))
+
+    def test_float32_mode_within_tolerance(self):
+        from repro.nn.mlp import MLPInference
+
+        mlp = MLP(6, [32, 32], 4, rng=7)
+        inference = MLPInference(mlp, dtype=np.float32)
+        x = np.random.default_rng(5).normal(size=(16, 6))
+        out = inference.forward(x.astype(np.float32))
+        assert out.dtype == np.float32
+        reference = mlp.forward(x)
+        assert np.allclose(out, reference, rtol=1e-4, atol=1e-5)
+
+    def test_float32_requires_refresh_after_set_parameters(self):
+        from repro.nn.mlp import MLPInference
+
+        mlp = MLP(6, [8], 4, rng=7)
+        inference = MLPInference(mlp, dtype=np.float32)
+        donor = MLP(6, [8], 4, rng=42)
+        mlp.set_parameters(donor.copy_parameters())
+        x = np.random.default_rng(6).normal(size=(2, 6)).astype(np.float32)
+        stale = inference.forward(x).copy()
+        inference.refresh_weights()
+        fresh = inference.forward(x)
+        assert not np.array_equal(stale, fresh)
+        assert np.allclose(fresh, mlp.forward(x.astype(np.float64)),
+                           rtol=1e-4, atol=1e-5)
+
+    def test_rejects_unsupported_dtype(self):
+        from repro.nn.mlp import MLPInference
+
+        with pytest.raises(ValueError, match="float64/float32"):
+            MLPInference(MLP(3, [4], 2, rng=0), dtype=np.int32)
+
+    def test_does_not_disturb_training_caches(self):
+        """An inference forward between a training forward and backward
+        must not corrupt the gradients."""
+        from repro.nn.mlp import MLPInference
+
+        rng = np.random.default_rng(8)
+        mlp = MLP(4, [6], 3, rng=9)
+        inference = MLPInference(mlp)
+        x = rng.normal(size=(5, 4))
+        grad_out = rng.normal(size=(5, 3))
+
+        mlp.forward(x)
+        mlp.zero_grad()
+        mlp.backward(grad_out)
+        expected = [g.copy() for g in mlp.gradients]
+
+        mlp.forward(x)
+        mlp.zero_grad()
+        inference.forward(rng.normal(size=(7, 4)))  # interleaved inference
+        mlp.backward(grad_out)
+        assert all(np.array_equal(a, b) for a, b in zip(expected, mlp.gradients))

@@ -61,3 +61,43 @@ class TestActorCriticPolicy:
     def test_invalid_action_count(self):
         with pytest.raises(ValueError):
             ActorCriticPolicy(3, 0)
+
+
+class TestActSingleEquivalence:
+    """`act` on a one-row batch and `act_single` must agree exactly — the
+    contract that lets the batched evaluation engine swap one for the
+    other without changing any episode."""
+
+    def _policy(self):
+        return ActorCriticPolicy(6, 5, hidden=(16, 16), rng=7)
+
+    def test_deterministic_action_matches(self):
+        policy = self._policy()
+        rng = np.random.default_rng(0)
+        for obs in np.random.default_rng(1).normal(size=(20, 6)):
+            batched, _, _ = policy.act(obs[None, :], rng, deterministic=True)
+            assert int(batched[0]) == policy.act_single(obs, deterministic=True)
+
+    def test_stochastic_action_matches_with_same_rng_state(self):
+        policy = self._policy()
+        for obs in np.random.default_rng(2).normal(size=(20, 6)):
+            # Identical generator state on both paths: same draws.
+            rng_a = np.random.default_rng(123)
+            rng_b = np.random.default_rng(123)
+            batched, _, _ = policy.act(obs[None, :], rng_a, deterministic=False)
+            single = policy.act_single(obs, rng=rng_b, deterministic=False)
+            assert int(batched[0]) == single
+
+    def test_value_matches_single_row(self):
+        policy = self._policy()
+        obs = np.random.default_rng(3).normal(size=(1, 6))
+        rng = np.random.default_rng(0)
+        _, values, _ = policy.act(obs, rng, deterministic=True)
+        assert values[0] == policy.values(obs)[0]
+
+    def test_logits_single_matches_batch_forward(self):
+        policy = self._policy()
+        obs = np.random.default_rng(4).normal(size=6)
+        assert np.array_equal(
+            policy.logits_single(obs), policy.actor.forward(obs[None, :])[0]
+        )

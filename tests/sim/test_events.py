@@ -66,3 +66,74 @@ class TestEventQueue:
         assert isinstance(event, Event)
         event.cancelled = True
         assert q.pop() is None
+
+
+class TestCancellationAccounting:
+    """The live-event counter behind O(1) ``len``/``bool`` must track every
+    way an event's cancelled flag can change, not just the happy path."""
+
+    def test_len_is_constant_time_counter(self):
+        q = EventQueue()
+        events = [q.push(ev(float(t))) for t in range(100)]
+        assert len(q) == 100
+        for event in events[::2]:
+            event.cancelled = True
+        assert len(q) == 50
+
+    def test_double_cancel_decrements_once(self):
+        q = EventQueue()
+        event = q.push(ev(1.0))
+        q.push(ev(2.0))
+        event.cancelled = True
+        event.cancelled = True
+        assert len(q) == 1
+
+    def test_uncancel_restores_count(self):
+        q = EventQueue()
+        event = q.push(ev(1.0))
+        event.cancelled = True
+        assert len(q) == 0
+        event.cancelled = False
+        assert len(q) == 1
+        assert q.pop() is event
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        q = EventQueue()
+        first = q.push(ev(1.0))
+        q.push(ev(2.0))
+        assert q.pop() is first
+        first.cancelled = True  # too late: already delivered
+        assert len(q) == 1
+        assert q.pop().time == 2.0
+        assert len(q) == 0
+
+    def test_push_already_cancelled_event_not_counted(self):
+        q = EventQueue()
+        q.push(ev(2.0, "kept"))
+        q.push(Event(1.0, EventKind.DECISION, "dead", cancelled=True))
+        assert len(q) == 1
+        assert q.pop().payload == "kept"
+        assert len(q) == 0
+
+    def test_peek_time_prunes_without_losing_count(self):
+        q = EventQueue()
+        a = q.push(ev(1.0))
+        q.push(ev(2.0))
+        a.cancelled = True
+        assert len(q) == 1
+        assert q.peek_time() == 2.0  # prunes the cancelled head
+        assert len(q) == 1
+
+    def test_rejects_double_scheduling(self):
+        q = EventQueue()
+        event = q.push(ev(1.0))
+        with pytest.raises(ValueError, match="already scheduled"):
+            q.push(event)
+
+    def test_event_can_be_requeued_after_pop(self):
+        q = EventQueue()
+        event = q.push(ev(1.0))
+        assert q.pop() is event
+        q.push(event)
+        assert len(q) == 1
+        assert q.pop() is event

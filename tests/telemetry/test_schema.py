@@ -37,6 +37,12 @@ EXAMPLES = {
         "kind": "eval_aggregate", "name": "SP", "seeds": 3,
         "mean_success": 0.4, "mean_delay": 20.0, "delay_seeds_excluded": 0,
     },
+    "eval_batch": {
+        "kind": "eval_batch", "batch": 32, "episodes": 10, "rounds": 120,
+        "decisions": 3500, "tie_fallbacks": 0, "mean_round_batch": 29.2,
+        "forward_seconds": 0.4, "wall_seconds": 1.5,
+        "decisions_per_second": 2333.0,
+    },
     "task_timing": {"kind": "task_timing", "label": "seed 0", "seconds": 0.5},
     "batch_timing": {
         "kind": "batch_timing", "name": "train", "mode": "serial",
