@@ -12,9 +12,8 @@ from __future__ import annotations
 
 from functools import partial
 
-import pytest
 
-from _config import SCALE, WORKERS, suite_config
+from _config import SCALE, WORKERS
 from repro.core.agent import DistributedCoordinator
 from repro.core.trainer import CoordinationEnvBuilder
 from repro.eval.runner import evaluate_policy_on_scenario

@@ -12,12 +12,11 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
-import pytest
 
-from _config import SCALE, suite_config
+from _config import SCALE
 from repro.core.env import ServiceCoordinationEnv
 from repro.core.trainer import TrainingConfig
-from repro.eval.runner import DISTRIBUTED_DRL, evaluate_policy_on_scenario
+from repro.eval.runner import evaluate_policy_on_scenario
 from repro.eval.scenarios import base_scenario
 from repro.eval.tables import SweepTable
 from repro.rl.training import train_multi_seed

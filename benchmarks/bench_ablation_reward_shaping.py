@@ -10,7 +10,6 @@ the same number of updates).
 
 from __future__ import annotations
 
-import pytest
 
 from _config import SCALE, suite_config
 from repro.core.rewards import RewardConfig

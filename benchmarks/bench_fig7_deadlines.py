@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from _config import SCALE, suite_config
 from repro.eval.runner import ALL_ALGORITHMS, SP, build_algorithm_suite

@@ -15,7 +15,6 @@ padded to Δ_G) that lets one network generalize across situations.
 
 from __future__ import annotations
 
-import pytest
 
 from _config import SCALE, suite_config
 from repro.eval.runner import (

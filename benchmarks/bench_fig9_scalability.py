@@ -14,7 +14,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from _config import SCALE, suite_config
 from repro.eval.runner import (

@@ -8,7 +8,6 @@ reconstructions matching the published statistics (see DESIGN.md).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.eval.tables import render_table1
 from repro.topology.zoo import table1_stats

@@ -27,10 +27,22 @@ for the paper-reproduction inventory.
 
 __version__ = "1.0.0"
 
-from repro import baselines, core, eval, nn, rl, services, sim, topology, traffic
+from repro import (
+    analysis,
+    baselines,
+    core,
+    eval,
+    nn,
+    rl,
+    services,
+    sim,
+    topology,
+    traffic,
+)
 
 __all__ = [
     "__version__",
+    "analysis",
     "baselines",
     "core",
     "eval",

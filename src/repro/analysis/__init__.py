@@ -1,0 +1,46 @@
+"""Static and runtime analysis for the repo's determinism guarantees.
+
+The repo's headline property — bit-identical results across the serial,
+process-parallel, and batched-inference execution paths — is exactly the
+kind of property that silently breaks when an unseeded RNG, an
+unordered-set iteration, or a wall-clock read slips into a seeded code
+path.  This package enforces those invariants in two complementary ways:
+
+- :mod:`repro.analysis.linter` — an AST-based project linter
+  (``repro lint``) with repo-specific rules REP001–REP007, inline
+  ``# repro: allow[REPXXX] <reason>`` suppressions, and a committed
+  baseline file for pre-existing debt.
+- :mod:`repro.analysis.invariants` — a runtime sanitizer:
+  ``REPRO_CHECK_INVARIANTS=1`` routes simulator/state invariants
+  (event-time monotonicity, capacity conservation, flow accounting,
+  event-queue live-count consistency) through :func:`check`, raising
+  :class:`InvariantViolation` with structured context.  The sanitizer
+  observes and never perturbs: a seeded run with it enabled is
+  bit-identical to one without.
+"""
+
+from repro.analysis.invariants import (
+    InvariantViolation,
+    check,
+    invariants_enabled,
+)
+from repro.analysis.linter import (
+    Baseline,
+    Finding,
+    LintConfig,
+    RULES,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "check",
+    "invariants_enabled",
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+]

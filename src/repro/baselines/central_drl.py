@@ -247,7 +247,8 @@ class CentralizedCoordinationEnv:
     # ------------------------------------------------------------------
 
     def _utilization_snapshot(self) -> np.ndarray:
-        assert self._sim is not None
+        if self._sim is None:
+            raise RuntimeError("call reset() before reading utilization")
         return np.array(
             [
                 self._sim.state.node_load(n) / max(self.network.node(n).capacity, 1e-12)
@@ -284,7 +285,8 @@ class CentralizedCoordinationEnv:
     def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
         if self._done:
             raise RuntimeError("episode finished; call reset()")
-        assert self._sim is not None
+        if self._sim is None:
+            raise RuntimeError("call reset() before step()")
         if not 0 <= action < len(self.nodes):
             raise ValueError(f"central action must index a node, got {action}")
         component = self.component_names[self._component_index]
@@ -317,7 +319,8 @@ class CentralizedCoordinationEnv:
     def _run_interval(self) -> float:
         """Drive the simulator to the next interval boundary under the
         current rules; returns the interval's accumulated reward."""
-        assert self._sim is not None
+        if self._sim is None:
+            raise RuntimeError("call reset() before running an interval")
         reward = 0.0
         while True:
             if self._pending is None:

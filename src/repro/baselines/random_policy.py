@@ -7,7 +7,6 @@ path of the simulator (invalid actions included).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -9,6 +9,7 @@ Gives downstream users the full pipeline without writing Python::
     python -m repro compare --pattern poisson --ingress 3
     python -m repro train ... --telemetry runs/exp1   # structured JSONL
     python -m repro telemetry summarize runs/exp1     # render run report
+    python -m repro lint                              # determinism linter
 
 All scenario knobs mirror :func:`repro.eval.scenarios.base_scenario`
 (topology, traffic pattern, number of ingresses, deadline, horizon,
@@ -22,7 +23,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
 
 __all__ = ["main", "build_parser"]
 
@@ -137,6 +137,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_arg(compare)
     _add_eval_batch_arg(compare)
     _add_telemetry_arg(compare)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism linter (rules REP001-REP007) over the project",
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro", "benchmarks"],
+                      help="files or directories to lint "
+                           "(default: src/repro benchmarks)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="report format")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="baseline file of accepted findings "
+                           "(default: .repro-lint-baseline.json when present)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file and report all findings")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="record the current findings as the new baseline")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule ids to run (default: all)")
 
     telemetry = sub.add_parser(
         "telemetry", help="inspect structured telemetry from a previous run"
@@ -294,6 +313,32 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.linter import DEFAULT_BASELINE_NAME, run_lint
+
+    baseline = args.baseline
+    if baseline is None and not args.no_baseline:
+        # Pick up the committed baseline when linting from the repo root.
+        if Path(DEFAULT_BASELINE_NAME).exists():
+            baseline = DEFAULT_BASELINE_NAME
+    if args.no_baseline:
+        baseline = None
+    select = tuple(
+        code.strip() for code in (args.select or "").split(",") if code.strip()
+    )
+    code, report = run_lint(
+        args.paths,
+        output_format=args.format,
+        baseline_path=baseline,
+        write_baseline=args.write_baseline,
+        select=select,
+    )
+    print(report)
+    return code
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     from repro.telemetry import summarize_run
 
@@ -308,6 +353,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
         "compare": _cmd_compare,
+        "lint": _cmd_lint,
         "telemetry": _cmd_telemetry,
     }
     return handlers[args.command](args)

@@ -14,11 +14,12 @@ policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.invariants import InvariantViolation
 from repro.core.actions import ActionAdapter
 from repro.core.observations import ObservationAdapter
 from repro.core.rewards import RewardConfig, RewardFunction
@@ -220,7 +221,10 @@ class ServiceCoordinationEnv:
             raise RuntimeError("call reset() before step()")
         if self._episode_done:
             raise RuntimeError("episode finished; call reset()")
-        assert self._decision is not None
+        if self._decision is None:
+            raise InvariantViolation(
+                "pending decision missing while the episode is still live"
+            )
         self._sim.apply_action(action)
         next_decision = self._sim.next_decision()
         reward = self.reward_function.total(self._sim.drain_outcomes())

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.analysis.invariants import InvariantViolation
 from repro.sim.simulator import Outcome, OutcomeKind
 from repro.topology.network import Network
 
@@ -90,10 +91,18 @@ class RewardFunction:
         if not cfg.enable_shaping:
             return 0.0
         if outcome.kind is OutcomeKind.INSTANCE_TRAVERSED:
-            assert outcome.chain_length is not None
+            if outcome.chain_length is None:
+                raise InvariantViolation(
+                    "INSTANCE_TRAVERSED outcome lacks its chain length",
+                    flow_id=outcome.flow_id,
+                )
             return cfg.instance_bonus_scale / outcome.chain_length
         if outcome.kind is OutcomeKind.LINK_TRAVERSED:
-            assert outcome.link_delay is not None
+            if outcome.link_delay is None:
+                raise InvariantViolation(
+                    "LINK_TRAVERSED outcome lacks its link delay",
+                    flow_id=outcome.flow_id,
+                )
             return -cfg.link_penalty_scale * outcome.link_delay / self.diameter
         if outcome.kind is OutcomeKind.FLOW_KEPT:
             return -cfg.keep_penalty_scale / self.diameter

@@ -324,13 +324,19 @@ class AlgorithmSuite:
         network, catalog = env_config.network, env_config.catalog
         factories: Dict[str, PolicyFactory] = {}
         if DISTRIBUTED_DRL in self.factories:
-            assert self.coordinator is not None
+            if self.coordinator is None:
+                raise RuntimeError(
+                    "suite lists distributed DRL but holds no trained coordinator"
+                )
             trained_policy = next(iter(self.coordinator.agents.values())).policy
             factories[DISTRIBUTED_DRL] = partial(
                 DistributedCoordinator, network, catalog, trained_policy
             )
         if CENTRAL_DRL in self.factories:
-            assert self.central is not None
+            if self.central is None:
+                raise RuntimeError(
+                    "suite lists central DRL but holds no trained central policy"
+                )
             central = self.central
             factories[CENTRAL_DRL] = partial(
                 CentralDRLPolicy,

@@ -7,7 +7,6 @@ of the policy-gradient and entropy objectives w.r.t. the logits.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 

@@ -4,10 +4,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Optional, Tuple, Union
+
+#: Anything ``np.random.default_rng`` accepts as a seed, or an existing
+#: generator (``None`` draws fresh OS entropy — linted against in library
+#: code by REP001).
+RNGLike = Optional[Union[int, np.random.SeedSequence, np.random.Generator]]
+
 __all__ = ["orthogonal", "xavier_uniform", "zeros"]
 
 
-def orthogonal(shape, gain: float = 1.0, rng=None) -> np.ndarray:
+def orthogonal(
+    shape: Tuple[int, int],
+    gain: float = 1.0,
+    rng: "RNGLike" = None,
+) -> np.ndarray:
     """Orthogonal initialisation (Saxe et al.), the stable-baselines default.
 
     Args:
@@ -29,7 +40,11 @@ def orthogonal(shape, gain: float = 1.0, rng=None) -> np.ndarray:
     return (gain * q[:rows, :cols]).astype(np.float64)
 
 
-def xavier_uniform(shape, gain: float = 1.0, rng=None) -> np.ndarray:
+def xavier_uniform(
+    shape: Tuple[int, int],
+    gain: float = 1.0,
+    rng: "RNGLike" = None,
+) -> np.ndarray:
     """Glorot/Xavier uniform initialisation for tanh networks."""
     if len(shape) != 2:
         raise ValueError(f"xavier init needs a 2-D shape, got {shape}")
@@ -39,5 +54,5 @@ def xavier_uniform(shape, gain: float = 1.0, rng=None) -> np.ndarray:
     return rng.uniform(-limit, limit, size=shape).astype(np.float64)
 
 
-def zeros(shape) -> np.ndarray:
+def zeros(shape: Union[int, Tuple[int, ...]]) -> np.ndarray:
     return np.zeros(shape, dtype=np.float64)

@@ -31,7 +31,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.nn.layers import Dense
+from repro.analysis.invariants import InvariantViolation
 from repro.nn.mlp import MLP
 
 __all__ = ["KFAC"]
@@ -150,8 +150,15 @@ class KFAC:
 
         # Preconditioned (natural) gradients per layer.
         updates: List[np.ndarray] = []
-        for grad, a_inv, g_inv in zip(grads, self._A_inv, self._G_inv):
-            assert a_inv is not None and g_inv is not None
+        for layer_index, (grad, a_inv, g_inv) in enumerate(
+            zip(grads, self._A_inv, self._G_inv)
+        ):
+            if a_inv is None or g_inv is None:
+                raise InvariantViolation(
+                    "K-FAC factor inverses missing at step time "
+                    "(refresh interval logic broke)",
+                    layer=layer_index, steps=self._steps,
+                )
             updates.append(a_inv @ grad @ g_inv)
 
         # Trust region: predicted KL ≈ ½ η² Σ tr(uᵀ A u G); rescale so the

@@ -9,11 +9,11 @@ moments form the Kronecker factors ``A = E[ā āᵀ]`` and ``G = E[g gᵀ]``.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.nn.init import orthogonal, xavier_uniform
+from repro.nn.init import RNGLike, orthogonal, xavier_uniform
 
 __all__ = ["Dense", "Tanh", "ReLU", "Identity", "Activation"]
 
@@ -39,7 +39,7 @@ class Dense:
         out_dim: int,
         init: str = "orthogonal",
         gain: float = 1.0,
-        rng=None,
+        rng: RNGLike = None,
     ) -> None:
         if in_dim < 1 or out_dim < 1:
             raise ValueError(f"invalid Dense dims ({in_dim}, {out_dim})")
@@ -90,7 +90,8 @@ class Dense:
         Gradients are averaged over the batch (dz is assumed to already be
         per-example loss gradients).
         """
-        assert self.last_input_aug is not None, "backward before forward"
+        if self.last_input_aug is None:
+            raise RuntimeError("Dense.backward() called before forward()")
         self.last_output_grad = dz
         grad = self.last_input_aug.T @ dz
         if accumulate:
@@ -129,7 +130,8 @@ class Tanh(Activation):
         return self._out
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
-        assert self._out is not None, "backward before forward"
+        if self._out is None:
+            raise RuntimeError("Tanh.backward() called before forward()")
         return dout * (1.0 - self._out**2)
 
     def forward_inplace(self, x: np.ndarray) -> np.ndarray:
@@ -147,7 +149,8 @@ class ReLU(Activation):
         return np.where(self._mask, x, 0.0)
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
-        assert self._mask is not None, "backward before forward"
+        if self._mask is None:
+            raise RuntimeError("ReLU.backward() called before forward()")
         return dout * self._mask
 
     def forward_inplace(self, x: np.ndarray) -> np.ndarray:

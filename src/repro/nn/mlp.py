@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional, Sequence, Type
+from typing import Any, List, Optional, Sequence, Type, Union
 
 import numpy as np
 
+from repro.nn.init import RNGLike
 from repro.nn.layers import Activation, Dense, Identity, ReLU, Tanh
 
 __all__ = ["MLP", "MLPInference"]
@@ -39,7 +40,7 @@ class MLP:
         out_dim: int,
         activation: str = "tanh",
         out_gain: float = 0.01,
-        rng=None,
+        rng: RNGLike = None,
     ) -> None:
         if activation not in _ACTIVATIONS:
             raise ValueError(
@@ -116,12 +117,12 @@ class MLP:
 
     # ------------------------------------------------------------------
 
-    def save(self, path) -> None:
+    def save(self, path: "Union[str, Path]") -> None:
         """Serialise weights to an ``.npz`` file."""
         arrays = {f"w{i}": w for i, w in enumerate(self.parameters)}
         np.savez(Path(path), **arrays)
 
-    def load(self, path) -> None:
+    def load(self, path: "Union[str, Path]") -> None:
         """Load weights saved by :meth:`save` into this (same-shape) MLP."""
         data = np.load(Path(path))
         self.set_parameters([data[f"w{i}"] for i in range(len(self.dense_layers))])
@@ -155,7 +156,7 @@ class MLPInference:
         evaluation engine disables its exactness guarantee in this mode.
     """
 
-    def __init__(self, mlp: MLP, dtype=np.float64) -> None:
+    def __init__(self, mlp: MLP, dtype: Any = np.float64) -> None:
         self.mlp = mlp
         self.dtype = np.dtype(dtype)
         if self.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):

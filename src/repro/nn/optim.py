@@ -7,7 +7,7 @@ for ablations and tests.  Optimisers mutate the parameter arrays in place
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -53,7 +53,12 @@ class Optimizer:
 class SGD(Optimizer):
     """Plain / momentum SGD."""
 
-    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0) -> None:
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+    ) -> None:
         super().__init__(params, lr)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
@@ -74,7 +79,11 @@ class RMSprop(Optimizer):
     """RMSprop (Tieleman & Hinton) — the paper's optimiser."""
 
     def __init__(
-        self, params, lr: float = 0.25, decay: float = 0.99, epsilon: float = 1e-5
+        self,
+        params: Sequence[np.ndarray],
+        lr: float = 0.25,
+        decay: float = 0.99,
+        epsilon: float = 1e-5,
     ) -> None:
         super().__init__(params, lr)
         if not 0.0 < decay < 1.0:
@@ -95,7 +104,7 @@ class Adam(Optimizer):
 
     def __init__(
         self,
-        params,
+        params: Sequence[np.ndarray],
         lr: float = 1e-3,
         beta1: float = 0.9,
         beta2: float = 0.999,

@@ -28,7 +28,7 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.parallel.timing import TaskTiming, TimingReport

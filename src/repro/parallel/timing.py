@@ -11,7 +11,7 @@ parallel execution layer over time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List
 
 __all__ = ["TaskTiming", "TimingReport"]
 

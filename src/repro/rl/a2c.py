@@ -15,8 +15,8 @@ subclasses this and swaps the optimiser for K-FAC natural gradients.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 import numpy as np
 

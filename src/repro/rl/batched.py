@@ -60,6 +60,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.invariants import InvariantViolation
 from repro.rl.policy import ActorCriticPolicy
 from repro.telemetry import NULL_RECORDER, Recorder
 
@@ -206,7 +207,7 @@ class BatchedEpisodeRunner:
         batch: int,
         deterministic: bool = True,
         rng: Optional[np.random.Generator] = None,
-        dtype=np.float64,
+        dtype: Any = np.float64,
         recorder: Recorder = NULL_RECORDER,
     ) -> None:
         if episodes < 0:
@@ -343,7 +344,12 @@ class BatchedEpisodeRunner:
 
         stats.wall_seconds = time.perf_counter() - wall_start
         stats.emit(self.recorder)
-        assert all(o is not None for o in outcomes)
+        missing = [i for i, o in enumerate(outcomes) if o is None]
+        if missing:
+            raise InvariantViolation(
+                "batched evaluation finished with unplayed episodes",
+                episode_indices=missing, episodes=n,
+            )
         return list(outcomes), stats  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
@@ -374,7 +380,10 @@ class BatchedEpisodeRunner:
         if self.deterministic:
             scores: np.ndarray = logits
         else:
-            assert noise is not None
+            if noise is None:
+                raise InvariantViolation(
+                    "stochastic selection reached without a noise workspace"
+                )
             for j in range(live):
                 u = rngs[episode_of[j]].uniform(1e-12, 1.0, size=(1, k))
                 noise[j] = -np.log(-np.log(u[0]))
@@ -394,6 +403,9 @@ class BatchedEpisodeRunner:
             stats.tie_fallbacks += 1
             serial = self.policy.logits_single(x[j])
             if not self.deterministic:
-                assert noise is not None
+                if noise is None:
+                    raise InvariantViolation(
+                        "stochastic tie fallback reached without a noise workspace"
+                    )
                 serial = serial + noise[j]
             actions[j] = int(np.argmax(serial))

@@ -8,7 +8,6 @@ last observation (temporal-difference training of V_φ [39]).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np

@@ -25,7 +25,7 @@ adapting online.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -213,7 +213,7 @@ class FederatedAveraging:
             ]
             for learner, net in zip(self.learners, nets):
                 w = weights[learner.node]
-                if w == 0.0:
+                if contributions[learner.node] == 0:
                     continue
                 for acc, param in zip(averaged, net.parameters):
                     acc += w * param

@@ -9,7 +9,7 @@ algorithm requires.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Any, Dict, List, Protocol, Tuple
 
 import numpy as np
 

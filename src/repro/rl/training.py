@@ -15,8 +15,8 @@ always run serially because their call order cannot be replayed per seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Type, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 

@@ -16,7 +16,7 @@ idle for the component's timeout ``δ_c`` are removed automatically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["Component", "Service", "ServiceCatalog", "linear_resource"]

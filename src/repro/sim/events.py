@@ -13,7 +13,7 @@ import itertools
 from enum import Enum, auto
 from typing import Any, List, Optional, Tuple
 
-from repro.traffic.flows import Flow, FlowSpec
+from repro.analysis.invariants import InvariantViolation
 
 __all__ = [
     "EventKind",
@@ -146,3 +146,23 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return self._live > 0
+
+    def validate(self) -> None:
+        """Recount live heap entries against the O(1) counter.
+
+        The sanitizer (``REPRO_CHECK_INVARIANTS=1``) calls this after
+        every event: a mismatch means a cancellation path bypassed the
+        :attr:`Event.cancelled` setter or an event escaped the queue
+        without adjusting the counter.  O(heap size) — debug only.
+
+        Raises:
+            InvariantViolation: The counter and the heap disagree.
+        """
+        actual = sum(1 for _, _, event in self._heap if not event._cancelled)
+        if actual != self._live:
+            raise InvariantViolation(
+                "event-queue live-count counter out of sync with heap",
+                counter=self._live,
+                recount=actual,
+                heap_size=len(self._heap),
+            )

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.invariants import InvariantViolation
 from repro.traffic.flows import Flow
 
 __all__ = ["DropReason", "MetricsCollector", "SimulationMetrics"]
@@ -135,7 +136,11 @@ class MetricsCollector:
     def record_success(self, flow: Flow) -> None:
         self.flows_succeeded += 1
         delay = flow.end_to_end_delay()
-        assert delay is not None
+        if delay is None:
+            raise InvariantViolation(
+                "successful flow has no end-to-end delay recorded",
+                flow_id=flow.flow_id,
+            )
         self._delays.append(delay)
         self._hops.append(flow.hops)
         self._sample(flow.finish_time)

@@ -35,9 +35,10 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass
 from enum import Enum, auto
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
-from repro.services.service import Component, Service, ServiceCatalog
+from repro.analysis.invariants import InvariantViolation, check, invariants_enabled
+from repro.services.service import ServiceCatalog
 from repro.sim.config import SimulationConfig
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.metrics import DropReason, MetricsCollector, SimulationMetrics
@@ -150,6 +151,11 @@ class Simulator:
         self._active_flows: Dict[int, Flow] = {}
         self._last_injection_time = 0.0
         self._finalized = False
+        #: Sanitizer mode: run the full invariant sweep after every event.
+        #: Enabled by ``config.check_invariants`` or the
+        #: ``REPRO_CHECK_INVARIANTS=1`` environment flag; pure observation,
+        #: so enabling it cannot perturb a seeded run.
+        self._sanitize = bool(config.check_invariants) or invariants_enabled()
         #: Mean wall-clock seconds per policy call of the last :meth:`run`
         #: with ``time_decisions=True`` (Fig. 9b).
         self.mean_decision_seconds: float = 0.0
@@ -174,11 +180,19 @@ class Simulator:
             if next_time is None or next_time > self.config.horizon:
                 return None
             event = self._queue.pop()
-            assert event is not None
+            if event is None:
+                raise InvariantViolation(
+                    "event queue empty right after peek_time() returned a time",
+                    peeked_time=next_time,
+                )
+            if self._sanitize:
+                check(event.time >= self.now,
+                      "event time moved backwards (monotonicity broken)",
+                      event_time=event.time, now=self.now, kind=event.kind.name)
             self.now = event.time
             self._dispatch(event)
-            if self.config.check_invariants:
-                self.state.check_invariants()
+            if self._sanitize:
+                self._check_invariants()
             if self._pending is not None:
                 return self._pending
 
@@ -293,6 +307,33 @@ class Simulator:
         """Flows injected but not yet finished."""
         return len(self._active_flows)
 
+    def _check_invariants(self) -> None:
+        """Sanitizer sweep run after every event when enabled.
+
+        Covers capacity conservation (:meth:`NetworkState.check_invariants`),
+        event-queue live-count consistency (:meth:`EventQueue.validate`),
+        and flow accounting: the simulator's active-flow table must agree
+        with the metrics counters, and every auxiliary table (residences,
+        expiry handles) may only reference active flows.
+        """
+        self.state.check_invariants()
+        self._queue.validate()
+        check(
+            len(self._active_flows) == self.metrics.flows_active,
+            "active-flow table disagrees with metrics flow accounting",
+            active_table=len(self._active_flows),
+            generated=self.metrics.flows_generated,
+            succeeded=self.metrics.flows_succeeded,
+            dropped=self.metrics.flows_dropped,
+        )
+        for table_name, table in (
+            ("residences", self._residences),
+            ("expiry_events", self._expiry_events),
+        ):
+            stale = [fid for fid in table if fid not in self._active_flows]
+            check(not stale, "auxiliary table references finished flows",
+                  table=table_name, flow_ids=stale)
+
     # ------------------------------------------------------------------
     # Event dispatch
     # ------------------------------------------------------------------
@@ -406,7 +447,11 @@ class Simulator:
 
     def _process_locally(self, flow: Flow, node: str) -> None:
         service = self.catalog.service(flow.service)
-        assert flow.component_index is not None
+        if flow.component_index is None:
+            raise InvariantViolation(
+                "flow asked to process locally but its chain is already complete",
+                flow_id=flow.flow_id, node=node,
+            )
         component = service.component_at(flow.component_index)
         demand = component.resources(flow.data_rate)
 
@@ -441,7 +486,11 @@ class Simulator:
         if flow.status is not FlowStatus.ACTIVE:
             return
         residence = self._residences.pop(flow.flow_id, None)
-        assert residence is not None, f"flow {flow.flow_id} finished with no residence"
+        if residence is None:
+            raise InvariantViolation(
+                "flow finished processing with no residence record",
+                flow_id=flow.flow_id, node=flow.current_node,
+            )
         # The instance stays busy until the flow's tail leaves (duration
         # later); schedule that transition via the release event's time by
         # ending the residence when the node allocation releases.  We end it
@@ -496,7 +545,11 @@ class Simulator:
     def _link_arrival(self, flow: Flow, node: Optional[str]) -> None:
         if flow.status is not FlowStatus.ACTIVE:
             return
-        assert node is not None
+        if node is None:
+            raise InvariantViolation(
+                "LINK_ARRIVAL event scheduled without a destination node",
+                flow_id=flow.flow_id,
+            )
         flow.hops += 1
         flow.current_node = node
         self._flow_at_node(flow)

@@ -17,9 +17,10 @@ scheduled release events turn into no-ops instead of double-releasing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.analysis.invariants import InvariantViolation, check
 from repro.topology.network import Network, link_key
 
 __all__ = ["Allocation", "InstanceState", "NetworkState", "CapacityError"]
@@ -42,7 +43,7 @@ class Allocation:
     """
 
     kind: str
-    key: object
+    key: Union[str, Tuple[str, str]]
     amount: float
     flow_id: int
     released: bool = False
@@ -148,20 +149,28 @@ class NetworkState:
             return
         allocation.released = True
         if allocation.kind == "node":
-            self._node_load[allocation.key] -= allocation.amount
+            node = allocation.key
+            if not isinstance(node, str):
+                raise InvariantViolation("node allocation key must be a node name",
+                                         key=node)
+            self._node_load[node] -= allocation.amount
             # Clamp float dust so long simulations cannot drift negative.
-            if -1e-9 < self._node_load[allocation.key] < 0:
-                self._node_load[allocation.key] = 0.0
-            assert self._node_load[allocation.key] >= 0, (
-                f"negative node load at {allocation.key}"
-            )
+            if -1e-9 < self._node_load[node] < 0:
+                self._node_load[node] = 0.0
+            check(self._node_load[node] >= 0, "negative node load after release",
+                  node=node, load=self._node_load[node],
+                  released=allocation.amount, flow_id=allocation.flow_id)
         elif allocation.kind == "link":
-            self._link_load[allocation.key] -= allocation.amount
-            if -1e-9 < self._link_load[allocation.key] < 0:
-                self._link_load[allocation.key] = 0.0
-            assert self._link_load[allocation.key] >= 0, (
-                f"negative link load on {allocation.key}"
-            )
+            link = allocation.key
+            if not isinstance(link, tuple):
+                raise InvariantViolation("link allocation key must be a link tuple",
+                                         key=link)
+            self._link_load[link] -= allocation.amount
+            if -1e-9 < self._link_load[link] < 0:
+                self._link_load[link] = 0.0
+            check(self._link_load[link] >= 0, "negative link load after release",
+                  link=link, load=self._link_load[link],
+                  released=allocation.amount, flow_id=allocation.flow_id)
         else:  # pragma: no cover - allocation kinds are fixed above
             raise ValueError(f"unknown allocation kind {allocation.kind!r}")
 
@@ -211,7 +220,8 @@ class NetworkState:
             # The instance may already have been force-removed; tolerate.
             return
         inst.busy_flows -= 1
-        assert inst.busy_flows >= 0, f"negative busy count at ({node}, {component})"
+        check(inst.busy_flows >= 0, "negative instance busy count",
+              node=node, component=component, busy_flows=inst.busy_flows)
         if inst.busy_flows == 0:
             inst.idle_since = now
 
@@ -229,23 +239,26 @@ class NetworkState:
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Assert no load is negative or above capacity.
+        """Verify capacity conservation: no load negative or above capacity.
 
-        Cheap enough to run after every event in tests; not called in the
-        hot path of production simulations.
+        Cheap enough to run after every event in tests and sanitizer runs
+        (``REPRO_CHECK_INVARIANTS=1``); not called in the hot path of
+        production simulations.
+
+        Raises:
+            InvariantViolation: A node/link load left ``[0, capacity]``
+                or an instance has a negative busy count.
         """
         for node, load in self._node_load.items():
             capacity = self.network.node(node).capacity
-            if load < -1e-9 or load > capacity + 1e-6:
-                raise AssertionError(
-                    f"node {node}: load {load} outside [0, {capacity}]"
-                )
+            check(-1e-9 <= load <= capacity + 1e-6,
+                  "node load outside capacity bounds",
+                  node=node, load=load, capacity=capacity)
         for key, load in self._link_load.items():
             capacity = self.network.link(*key).capacity
-            if load < -1e-9 or load > capacity + 1e-6:
-                raise AssertionError(
-                    f"link {key}: load {load} outside [0, {capacity}]"
-                )
+            check(-1e-9 <= load <= capacity + 1e-6,
+                  "link load outside capacity bounds",
+                  link=key, load=load, capacity=capacity)
         for (node, comp), inst in self._instances.items():
-            if inst.busy_flows < 0:
-                raise AssertionError(f"instance ({node},{comp}): negative busy count")
+            check(inst.busy_flows >= 0, "negative instance busy count",
+                  node=node, component=comp, busy_flows=inst.busy_flows)

@@ -75,7 +75,7 @@ streams.
 from __future__ import annotations
 
 import numbers
-from typing import Any, Dict, Iterable, List, Mapping, Tuple
+from typing import Any, Dict, Iterable, List, Mapping
 
 __all__ = [
     "SCHEMA_VERSION",

@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
+from repro.analysis.invariants import InvariantViolation
 from repro.topology.network import Link, Network, Node
 
 __all__ = [
@@ -208,7 +209,10 @@ def random_geometric_network(
                     d = dist(u, v)
                     if best is None or d < best[0]:
                         best = (d, u, v)
-        assert best is not None
+        if best is None:
+            raise InvariantViolation(
+                "disconnected components left with no candidate bridge edge"
+            )
         _, u, v = best
         edges.add((u, v) if u <= v else (v, u))
         union(u, v)

@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.invariants import InvariantViolation
 
 
 @dataclass(frozen=True)
@@ -277,7 +279,11 @@ class Network:
         current = source
         while current != target:
             nxt = self.next_hop(current, target)
-            assert nxt is not None
+            if nxt is None:
+                raise InvariantViolation(
+                    "next_hop dead-ended on a path proven reachable",
+                    source=source, target=target, at=current,
+                )
             path.append(nxt)
             current = nxt
         return path

@@ -33,6 +33,7 @@ import math
 import random
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from repro.analysis.invariants import InvariantViolation
 from repro.topology.network import Link, Network, Node, euclidean_delay
 
 __all__ = [
@@ -167,7 +168,11 @@ def _reconstruct(
 
     def add_edge(u: str, v: str) -> None:
         key = (u, v) if u <= v else (v, u)
-        assert key not in edges and u != v
+        if key in edges or u == v:
+            raise InvariantViolation(
+                "generator proposed a duplicate edge or self-loop",
+                edge=key,
+            )
         edges.add(key)
         degree[u] += 1
         degree[v] += 1

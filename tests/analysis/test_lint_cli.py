@@ -1,0 +1,184 @@
+"""End-to-end tests of ``repro lint``: file discovery, baselines, CLI.
+
+Includes the self-lint acceptance check: the repository's own source tree
+must be clean under its committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.linter import (
+    Baseline,
+    lint_paths,
+    lint_source,
+    run_lint,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_MODULE = """\
+import numpy as np
+
+rng = np.random.default_rng()
+"""
+
+CLEAN_MODULE = """\
+import numpy as np
+
+rng = np.random.default_rng(42)
+"""
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "bad.py").write_text(BAD_MODULE)
+    (pkg / "clean.py").write_text(CLEAN_MODULE)
+    return tmp_path
+
+
+class TestLintPaths:
+    def test_discovers_python_files_recursively(self, bad_tree):
+        findings = lint_paths([bad_tree], root=bad_tree)
+        assert [(f.rule, f.path) for f in findings] == [("REP001", "pkg/bad.py")]
+
+    def test_single_file_path(self, bad_tree):
+        findings = lint_paths([bad_tree / "pkg" / "bad.py"], root=bad_tree)
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([tmp_path / "nope"])
+
+
+class TestRunLint:
+    def test_findings_give_exit_one(self, bad_tree):
+        code, report = run_lint([str(bad_tree)], root=bad_tree)
+        assert code == 1
+        assert "REP001" in report
+
+    def test_clean_tree_gives_exit_zero(self, tmp_path):
+        (tmp_path / "ok.py").write_text(CLEAN_MODULE)
+        code, report = run_lint([str(tmp_path)], root=tmp_path)
+        assert code == 0
+
+    def test_json_format(self, bad_tree):
+        code, report = run_lint(
+            [str(bad_tree)], output_format="json", root=bad_tree
+        )
+        payload = json.loads(report)
+        assert code == 1
+        assert payload["findings"][0]["rule"] == "REP001"
+        assert payload["count"] == 1
+        assert payload["baselined"] == 0
+
+    def test_unknown_select_rule_raises(self, bad_tree):
+        with pytest.raises(ValueError):
+            run_lint([str(bad_tree)], select=("REP999",), root=bad_tree)
+
+
+class TestBaseline:
+    def test_round_trip(self, bad_tree, tmp_path):
+        findings = lint_paths([bad_tree], root=bad_tree)
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        loaded = Baseline.load(path)
+        assert loaded.filter(findings) == []
+
+    def test_baseline_masks_known_debt_only(self, bad_tree, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        code, _ = run_lint(
+            [str(bad_tree)],
+            baseline_path=str(baseline_path),
+            write_baseline=True,
+            root=bad_tree,
+        )
+        assert code == 0
+        # Accepted debt no longer fails the gate ...
+        code, _ = run_lint(
+            [str(bad_tree)], baseline_path=str(baseline_path), root=bad_tree
+        )
+        assert code == 0
+        # ... but a new violation still does.
+        (bad_tree / "pkg" / "worse.py").write_text(BAD_MODULE)
+        code, report = run_lint(
+            [str(bad_tree)], baseline_path=str(baseline_path), root=bad_tree
+        )
+        assert code == 1
+        assert "worse.py" in report
+
+    def test_count_matching_catches_duplicated_violations(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        one = lint_source(src, path="pkg/mod.py")
+        baseline = Baseline.from_findings(one)
+        twice = src + "other = np.random.default_rng()\n"
+        # Identical source text on a second line -> same fingerprint, but
+        # the count exceeds the baselined amount, so one survives.
+        survivors = baseline.filter(lint_source(twice, path="pkg/mod.py"))
+        assert len(survivors) == 1
+
+
+class TestCliCommand:
+    def test_lint_subcommand_exit_codes(self, bad_tree, capsys):
+        code = main(["lint", str(bad_tree / "pkg" / "bad.py"), "--no-baseline"])
+        assert code == 1
+        assert "REP001" in capsys.readouterr().out
+        code = main(["lint", str(bad_tree / "pkg" / "clean.py"), "--no-baseline"])
+        assert code == 0
+
+    def test_lint_subcommand_json(self, bad_tree, capsys):
+        code = main(
+            ["lint", str(bad_tree), "--format", "json", "--no-baseline"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert [f["rule"] for f in payload["findings"]] == ["REP001"]
+
+    def test_write_baseline_then_pass(self, bad_tree, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        assert main(
+            ["lint", str(bad_tree), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["lint", str(bad_tree), "--baseline", str(baseline)]) == 0
+
+    def test_select_option(self, bad_tree, capsys):
+        code = main(
+            ["lint", str(bad_tree), "--select", "REP007", "--no-baseline"]
+        )
+        assert code == 0
+
+
+class TestSelfLint:
+    """The repository itself must pass its own determinism gate."""
+
+    def test_repo_source_tree_is_clean(self):
+        code, report = run_lint(
+            ["src/repro", "benchmarks"],
+            output_format="json",
+            baseline_path=str(REPO_ROOT / ".repro-lint-baseline.json"),
+            root=REPO_ROOT,
+        )
+        payload = json.loads(report)
+        assert code == 0, f"repo lint gate failed:\n{report}"
+        assert payload["findings"] == []
+
+    def test_module_invocation_matches(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "src/repro", "benchmarks",
+             "--format", "json"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -1,6 +1,5 @@
 """Additional behavioural tests for the baseline policies."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.central_drl import CentralDRLConfig, CentralDRLPolicy, RuleExecutor

@@ -1,6 +1,5 @@
 """Tests for the GCASP distributed heuristic."""
 
-import pytest
 
 from repro.baselines.gcasp import GCASPPolicy
 from repro.topology import Link, Network, Node, line_network

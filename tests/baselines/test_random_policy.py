@@ -1,6 +1,5 @@
 """Tests for the random baseline."""
 
-import numpy as np
 
 from repro.baselines.random_policy import RandomPolicy
 from repro.topology import star_network

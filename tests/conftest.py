@@ -8,9 +8,9 @@ import numpy as np
 import pytest
 
 from repro.core.env import CoordinationEnvConfig
-from repro.services import Component, Service, ServiceCatalog, default_catalog
+from repro.services import Component, Service, ServiceCatalog
 from repro.sim import SimulationConfig, Simulator
-from repro.topology import Link, Network, Node, line_network, triangle_network
+from repro.topology import Network, line_network, triangle_network
 from repro.traffic import FixedArrival, FlowSpec, FlowTemplate, TrafficSource
 
 

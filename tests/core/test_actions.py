@@ -1,6 +1,5 @@
 """Tests for the action adapter (Sec. IV-B2)."""
 
-import numpy as np
 import pytest
 
 from repro.core.actions import ACTION_PROCESS_LOCALLY, ActionAdapter

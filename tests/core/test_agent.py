@@ -8,7 +8,7 @@ from repro.core.observations import ObservationAdapter
 from repro.rl.policy import ActorCriticPolicy
 from repro.topology import line_network
 
-from tests.conftest import make_env_config, make_flow_specs, make_simple_catalog, make_simulator
+from tests.conftest import make_flow_specs, make_simple_catalog, make_simulator
 
 
 def setup():

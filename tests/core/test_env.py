@@ -1,6 +1,5 @@
 """Tests for the per-flow coordination environment."""
 
-import numpy as np
 import pytest
 
 from repro.core.env import ServiceCoordinationEnv

@@ -1,9 +1,7 @@
 """Observation adapter behaviour in degenerate situations."""
 
-import math
 
 import numpy as np
-import pytest
 
 from repro.core.observations import ObservationAdapter
 from repro.topology import Link, Network, Node, line_network

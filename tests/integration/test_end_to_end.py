@@ -11,16 +11,14 @@ import pytest
 
 from repro.baselines import GCASPPolicy, RandomPolicy, ShortestPathPolicy
 from repro.core import (
-    CoordinationEnvConfig,
     DistributedCoordinator,
     ServiceCoordinationEnv,
     TrainingConfig,
     train_coordinator,
 )
 from repro.eval import base_scenario, evaluate_policy_on_scenario
-from repro.sim import SimulationConfig, Simulator
+from repro.sim import Simulator
 from repro.topology import line_network
-from repro.traffic import FixedArrival, FlowTemplate, TrafficSource
 
 from tests.conftest import make_env_config, make_simple_catalog
 

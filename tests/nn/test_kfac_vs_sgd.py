@@ -8,7 +8,6 @@ its best stable learning rate.
 """
 
 import numpy as np
-import pytest
 
 from repro.nn.kfac import KFAC
 from repro.nn.mlp import MLP

@@ -11,7 +11,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sim.metrics import DropReason
 from repro.topology import random_geometric_network, ring_network, star_network
-from repro.traffic import FlowStatus
 
 from tests.conftest import make_flow_specs, make_simple_catalog, make_simulator
 

@@ -8,10 +8,10 @@ accumulate, what gets dropped why, and which outcomes are emitted.
 import pytest
 
 from repro.sim.metrics import DropReason
-from repro.sim.simulator import ACTION_PROCESS_LOCALLY, OutcomeKind, Simulator
+from repro.sim.simulator import ACTION_PROCESS_LOCALLY, OutcomeKind
 from repro.sim.config import SimulationConfig
-from repro.topology import Link, Network, Node, line_network
-from repro.traffic import FlowSpec, FlowStatus
+from repro.topology import line_network
+from repro.traffic import FlowSpec
 
 from tests.conftest import make_flow_specs, make_simple_catalog, make_simulator
 

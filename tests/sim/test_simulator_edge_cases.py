@@ -1,11 +1,10 @@
 """Edge-case behavioural tests for the simulator."""
 
-import pytest
 
 from repro.services import Component, Service, ServiceCatalog
 from repro.sim.metrics import DropReason
 from repro.sim.simulator import ACTION_PROCESS_LOCALLY, OutcomeKind
-from repro.topology import Link, Network, Node, line_network, triangle_network
+from repro.topology import Link, Network, Node, line_network
 from repro.traffic import FlowSpec
 
 from tests.conftest import make_flow_specs, make_simple_catalog, make_simulator

@@ -6,7 +6,6 @@ that the cheapest one executes end to end with its budget scaled down.
 
 import ast
 import py_compile
-import runpy
 import sys
 from pathlib import Path
 

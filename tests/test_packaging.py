@@ -20,11 +20,35 @@ class TestPackage:
 
     def test_public_api_exports_resolve(self):
         """Every name in each subpackage's __all__ must actually exist."""
-        from repro import baselines, core, eval, nn, rl, services, sim, topology, traffic
+        from repro import (
+            analysis, baselines, core, eval, nn, rl, services, sim, topology, traffic,
+        )
 
-        for module in (baselines, core, eval, nn, rl, services, sim, topology, traffic):
+        for module in (
+            analysis, baselines, core, eval, nn, rl, services, sim, topology, traffic,
+        ):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+class TestTypedDistribution:
+    def test_py_typed_marker_ships_with_the_package(self):
+        """PEP 561: the installed (or src-layout imported) package carries
+        the inline-types marker so downstream mypy runs see our stubs."""
+        marker = Path(repro.__file__).parent / "py.typed"
+        assert marker.exists(), "repro/py.typed marker missing"
+
+    def test_py_typed_registered_as_package_data(self):
+        text = (REPO / "pyproject.toml").read_text()
+        assert "py.typed" in text, "py.typed not declared as package data"
+
+    def test_dev_extra_pins_static_analysis_toolchain(self):
+        text = (REPO / "pyproject.toml").read_text()
+        for tool in ("mypy", "ruff"):
+            assert tool in text, f"{tool} missing from the dev extra"
+
+    def test_lint_baseline_is_committed(self):
+        assert (REPO / ".repro-lint-baseline.json").exists()
 
 
 class TestDocumentationDeliverables:

@@ -1,6 +1,5 @@
 """Calibration tests tying topology constants to the paper's regimes."""
 
-import pytest
 
 from repro.eval.scenarios import build_network
 from repro.services import video_streaming_service
