@@ -1,0 +1,287 @@
+"""Training-loop throughput benchmark: decisions/sec of the full pipeline.
+
+Measures the training inner loop end to end and by component on the
+default Abilene scenario:
+
+- *training decisions/sec*: ACKTR over ``l = 4`` parallel envs (the
+  paper's configuration) — environment transitions consumed per second
+  of wall-clock, including rollout collection and the K-FAC update.
+- *phase breakdown*: the same run re-attributed with
+  :class:`repro.profiling.PhaseAccumulator` into sim-advance /
+  obs-build / policy-forward / optimizer-update, so the report shows
+  *where* a regression lives, not just that one happened.
+- *env steps/sec*: the simulator hot path alone (``env.step`` with no
+  neural network) — the surface the indexed-state optimization targets.
+- *sim flows/sec*: the raw discrete-event engine under a shortest-path
+  baseline policy over a long horizon.
+- *GEMM calibration*: single-threaded ``257x257 @ 257x256`` float64
+  GFLOPS.  The optimizer-update phase is BLAS-bound at machine peak, so
+  end-to-end decisions/sec scales with this number across hosts; the
+  regression gate normalises by it to avoid flagging slower hardware as
+  a code regression.
+
+The report is persisted as ``BENCH_training.json`` in the repo root
+(override with ``REPRO_BENCH_TRAINING_JSON``).  If a previous report is
+already committed there, the run fails when calibration-normalised
+training decisions/sec regresses by more than 30%.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_training.py``)
+or via pytest (``pytest benchmarks/bench_training.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _config import SCALE
+
+from repro.baselines.shortest_path import ShortestPathPolicy
+from repro.core.trainer import CoordinationEnvBuilder
+from repro.eval.scenarios import base_scenario
+from repro.parallel import CountingEnvFactory
+from repro.profiling import PhaseAccumulator
+from repro.rl.acktr import ACKTRConfig, ACKTRTrainer
+from repro.sim.simulator import Simulator
+
+#: Measured training updates per repetition (scale-aware fidelity).
+TRAIN_UPDATES = {"smoke": 10, "default": 30, "paper": 60}[SCALE.name]
+
+#: Best-of repetitions per measurement.
+REPS = 2 if SCALE.name == "smoke" else 3
+
+#: Paper configuration: l = 4 envs, 32-step rollouts.
+N_ENVS = 4
+N_STEPS = 32
+
+#: Horizon of one training episode (short, so many episodes cycle).
+TRAIN_HORIZON = 400.0
+
+#: Horizon of the raw-simulator measurement.
+SIM_HORIZON = 1500.0 if SCALE.name == "smoke" else 3000.0
+
+#: Allowed regression of calibration-normalised decisions/sec vs the
+#: committed baseline report.
+REGRESSION_TOLERANCE = 0.30
+
+
+def _default_json_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_TRAINING_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_training.json"
+
+
+def _scenario(horizon: float):
+    return base_scenario(pattern="poisson", num_ingress=2, horizon=horizon)
+
+
+def measure_gemm_gflops() -> float:
+    """Calibration: best-of float64 GEMM throughput at the K-FAC factor
+    shape (257 = 256 hidden units + folded bias)."""
+    a = np.random.default_rng(0).normal(size=(257, 257))
+    b = np.random.default_rng(1).normal(size=(257, 256))
+    a @ b  # warm-up
+    reps = 50
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(reps):
+            a @ b
+        best = min(best, time.perf_counter() - start)
+    return 2.0 * 257 * 257 * 256 * reps / best / 1e9
+
+
+def measure_training() -> dict:
+    """End-to-end ACKTR decisions/sec (best-of) plus a phase breakdown."""
+    builder = CoordinationEnvBuilder(_scenario(TRAIN_HORIZON))
+    decisions = TRAIN_UPDATES * N_STEPS * N_ENVS
+    best = 0.0
+    for _ in range(REPS):
+        trainer = ACKTRTrainer(
+            CountingEnvFactory(builder, offset=0),
+            ACKTRConfig(n_envs=N_ENVS, n_steps=N_STEPS),
+            seed=0,
+        )
+        start = time.perf_counter()
+        trainer.train(TRAIN_UPDATES)
+        elapsed = time.perf_counter() - start
+        best = max(best, decisions / elapsed)
+
+    # One more instrumented run for the phase attribution (the hooks add
+    # two clock reads per step, so it is timed separately).
+    trainer = ACKTRTrainer(
+        CountingEnvFactory(builder, offset=0),
+        ACKTRConfig(n_envs=N_ENVS, n_steps=N_STEPS),
+        seed=0,
+    )
+    prof = trainer.attach_profiler(PhaseAccumulator())
+    start = time.perf_counter()
+    trainer.train(TRAIN_UPDATES)
+    wall = time.perf_counter() - start
+    breakdown = prof.to_dict()
+    breakdown["wall_seconds"] = wall
+    breakdown["unattributed_seconds"] = max(0.0, wall - prof.total_seconds)
+    return {
+        "updates": TRAIN_UPDATES,
+        "n_envs": N_ENVS,
+        "n_steps": N_STEPS,
+        "decisions": decisions,
+        "decisions_per_second": best,
+        "phase_breakdown": breakdown,
+    }
+
+
+def measure_env_steps() -> float:
+    """Simulator hot path alone: env.step/sec with no neural network."""
+    env = CoordinationEnvBuilder(_scenario(TRAIN_HORIZON)).build(0)
+    episodes = 10 if SCALE.name == "smoke" else 30
+    best = 0.0
+    for _ in range(REPS):
+        steps = 0
+        start = time.perf_counter()
+        for _ in range(episodes):
+            env.reset()
+            done = False
+            while not done:
+                _, _, done, _ = env.step(0)
+                steps += 1
+        elapsed = time.perf_counter() - start
+        best = max(best, steps / elapsed)
+    return best
+
+
+def measure_sim() -> dict:
+    """Raw discrete-event engine under the shortest-path baseline."""
+    scenario = _scenario(SIM_HORIZON)
+    policy = ShortestPathPolicy(scenario.network, scenario.catalog)
+    best_flows = best_decisions = 0.0
+    for _ in range(REPS):
+        rng = np.random.default_rng(0)
+        sim = Simulator(
+            scenario.network,
+            scenario.catalog,
+            scenario.traffic_factory(rng),
+            scenario.sim_config,
+        )
+        start = time.perf_counter()
+        metrics = sim.run(policy)
+        elapsed = time.perf_counter() - start
+        best_flows = max(best_flows, metrics.flows_generated / elapsed)
+        best_decisions = max(best_decisions, metrics.decisions / elapsed)
+    return {
+        "horizon": SIM_HORIZON,
+        "flows_per_second": best_flows,
+        "decisions_per_second": best_decisions,
+    }
+
+
+def run_bench() -> dict:
+    training = measure_training()
+    return {
+        "kind": "training_bench",
+        "scale": SCALE.name,
+        "scenario": "Abilene/poisson/2-ingress",
+        "gemm_gflops": measure_gemm_gflops(),
+        "training": training,
+        "env_steps_per_second": measure_env_steps(),
+        "sim": measure_sim(),
+    }
+
+
+def load_baseline() -> dict | None:
+    """The committed previous report, read before this run overwrites it."""
+    path = _default_json_path()
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        return None
+
+
+def persist(report: dict) -> Path:
+    path = _default_json_path()
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def render(report: dict) -> str:
+    training = report["training"]
+    phases = training["phase_breakdown"]
+    phase_line = "  ".join(
+        f"{entry['name']}={entry['seconds']:.2f}s"
+        for entry in phases["phases"]
+    )
+    return "\n".join(
+        [
+            f"Training throughput ({report['scenario']}, scale={report['scale']})",
+            (
+                f"  training        : {training['decisions_per_second']:>10.0f}"
+                f" decisions/sec (ACKTR, l={training['n_envs']},"
+                f" {training['updates']} updates)"
+            ),
+            f"  phases          : {phase_line}",
+            f"  env.step (no NN): {report['env_steps_per_second']:>10.0f} steps/sec",
+            (
+                f"  raw simulator   : {report['sim']['flows_per_second']:>10.0f}"
+                f" flows/sec, {report['sim']['decisions_per_second']:.0f}"
+                " decisions/sec"
+            ),
+            f"  GEMM calibration: {report['gemm_gflops']:>10.1f} GFLOPS (f64, 1 thread)",
+        ]
+    )
+
+
+def check(report: dict, baseline: dict | None) -> None:
+    """Fail on >30% calibration-normalised decisions/sec regression."""
+    training = report["training"]
+    assert training["decisions_per_second"] > 0
+    phases = training["phase_breakdown"]
+    assert phases["total_seconds"] > 0, "phase attribution recorded nothing"
+    # The phase timer must account for (nearly) the whole instrumented run.
+    assert phases["total_seconds"] <= phases["wall_seconds"] * 1.01
+    if baseline is None:
+        return
+    base_rate = baseline.get("training", {}).get("decisions_per_second")
+    base_gflops = baseline.get("gemm_gflops")
+    if not base_rate or not base_gflops:
+        return
+    # Normalise by the hardware calibration so a slower host is not
+    # mistaken for a code regression.
+    expected = base_rate * (report["gemm_gflops"] / base_gflops)
+    floor = expected * (1.0 - REGRESSION_TOLERANCE)
+    assert training["decisions_per_second"] >= floor, (
+        f"training throughput regressed: {training['decisions_per_second']:.0f}"
+        f" decisions/sec vs calibration-normalised baseline {expected:.0f}"
+        f" (floor {floor:.0f})"
+    )
+
+
+def test_training_throughput(bench_report):
+    baseline = load_baseline()
+    report = run_bench()
+    rendered = render(report)
+    bench_report.append(rendered)
+    bench_report.add_phases("training", report["training"]["phase_breakdown"])
+    print()
+    print(rendered)
+    path = persist(report)
+    print(f"Training bench JSON written to {path}")
+    check(report, baseline)
+
+
+if __name__ == "__main__":
+    baseline = load_baseline()
+    report = run_bench()
+    print(render(report))
+    path = persist(report)
+    print(f"Training bench JSON written to {path}")
+    check(report, baseline)

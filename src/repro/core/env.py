@@ -15,6 +15,7 @@ policy.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
@@ -99,6 +100,10 @@ class ServiceCoordinationEnv:
         #: this env's adapter (e.g. RolloutRunner, which copies rows into
         #: its preallocated batch buffers immediately).
         self.copy_observations = True
+        #: Optional :class:`repro.profiling.PhaseAccumulator`; when set,
+        #: step()/reset() attribute their wall time to the ``sim_advance``
+        #: and ``obs_build`` phases (one branch per step when unset).
+        self.profiler = None
         self._sim: Optional[Simulator] = None
         self._decision: Optional[DecisionPoint] = None
         self._episode_done = True
@@ -165,6 +170,7 @@ class ServiceCoordinationEnv:
         twin._next_episode = self._next_episode
         twin.observation_out = None
         twin.copy_observations = self.copy_observations
+        twin.profiler = None
         twin._sim = None
         twin._decision = None
         twin._episode_done = True
@@ -179,6 +185,8 @@ class ServiceCoordinationEnv:
         ``index + 1``-th :meth:`reset` of a same-seed env would play.
         Sets the counter so a subsequent plain ``reset()`` plays
         ``index + 1``."""
+        prof = self.profiler
+        start = perf_counter() if prof is not None else 0.0
         rng = self.episode_rng(index)
         self._next_episode = index + 1
         traffic = self.config.traffic_factory(rng)
@@ -188,11 +196,17 @@ class ServiceCoordinationEnv:
         self._decision = self._sim.next_decision()
         self._sim.drain_outcomes()
         self._episode_done = self._decision is None
+        if prof is not None:
+            mid = perf_counter()
+            prof.sim_advance += mid - start
         if self._decision is None:
             # Degenerate scenario with no flows before the horizon: return
             # a zero observation; the first step will terminate immediately.
             return self._zero_observation()
-        return self._observe(self._decision)
+        obs = self._observe(self._decision)
+        if prof is not None:
+            prof.obs_build += perf_counter() - mid
+        return obs
 
     def _observe(self, decision: DecisionPoint) -> np.ndarray:
         return self.observation_adapter.build(
@@ -225,6 +239,8 @@ class ServiceCoordinationEnv:
             raise InvariantViolation(
                 "pending decision missing while the episode is still live"
             )
+        prof = self.profiler
+        start = perf_counter() if prof is not None else 0.0
         self._sim.apply_action(action)
         next_decision = self._sim.next_decision()
         reward = self.reward_function.total(self._sim.drain_outcomes())
@@ -240,7 +256,17 @@ class ServiceCoordinationEnv:
                 "flows_dropped": metrics.flows_dropped,
                 "avg_end_to_end_delay": metrics.avg_end_to_end_delay,
             }
+            if prof is not None:
+                prof.sim_advance += perf_counter() - start
+                prof.steps += 1
             obs = self._zero_observation()
         else:
-            obs = self._observe(next_decision)
+            if prof is None:
+                obs = self._observe(next_decision)
+            else:
+                mid = perf_counter()
+                prof.sim_advance += mid - start
+                prof.steps += 1
+                obs = self._observe(next_decision)
+                prof.obs_build += perf_counter() - mid
         return obs, float(reward), self._episode_done, info

@@ -95,12 +95,41 @@ class ObservationAdapter:
         # their clipped/concatenated intermediates.
         self._scratch = np.empty(self.size, dtype=np.float64)
         self._neighbors = {v: tuple(network.neighbors(v)) for v in network.node_names}
-        # Per-(node, egress) shortest-path-via-neighbor delay arrays, filled
-        # lazily on first use: build() then reads one cached vector instead
+        # Integer gather tables per node, one dict lookup per build():
+        # (degree k, combined gather ids, capacities as a python-float
+        # tuple, link norm, self+neighbor node ids).  The combined ids
+        # address NetworkState.loads_vector — k outgoing-link slots
+        # followed by 1+k node slots — so one ``take`` fetches every load
+        # the observation needs; the arithmetic then runs on python floats
+        # (via ``tolist``), which beats a pile of length-≤5 ufunc
+        # dispatches while performing the exact same IEEE operations per
+        # element as the scalar reference in build_parts.
+        num_links = network.num_links
+        self._node_tables: Dict[
+            str, Tuple[int, np.ndarray, Tuple[float, ...], float, np.ndarray]
+        ] = {
+            v: (
+                len(self._neighbors[v]),
+                np.concatenate(
+                    [
+                        network.neighbor_link_ids(v),
+                        network.self_and_neighbor_ids(v) + num_links,
+                    ]
+                ).astype(np.intp),
+                tuple(network.neighbor_link_capacities(v).tolist())
+                + tuple(network.self_and_neighbor_capacities(v).tolist()),
+                self._max_link_capacity[v],
+                network.self_and_neighbor_ids(v),
+            )
+            for v in network.node_names
+        }
+        self._gather = np.empty(2 * self.degree + 1, dtype=np.float64)
+        # Per-(node, egress) shortest-path-via-neighbor delays, filled
+        # lazily on first use: build() then reads one cached tuple instead
         # of doing a dict lookup per neighbor per decision.  Each entry is
-        # (via_delays, non_finite_indices_or_None).
+        # (via_delays as python floats, non_finite_indices_or_None).
         self._delay_via: Dict[
-            Tuple[str, str], Tuple[np.ndarray, Optional[np.ndarray]]
+            Tuple[str, str], Tuple[Tuple[float, ...], Optional[Tuple[int, ...]]]
         ] = {}
 
     @property
@@ -123,23 +152,22 @@ class ObservationAdapter:
 
     def _delays_via(
         self, node: str, egress: str
-    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    ) -> Tuple[Tuple[float, ...], Optional[Tuple[int, ...]]]:
         """Cached ``link(node, nb).delay + spd(nb, egress)`` per neighbor,
         plus the indices of non-finite entries (unreachable egress), or
         None when all entries are finite (the common case)."""
         key = (node, egress)
         entry = self._delay_via.get(key)
         if entry is None:
-            via = np.array(
-                [
+            via = tuple(
+                float(
                     self.network.link(node, nb).delay
                     + self.network.shortest_path_delay(nb, egress)
-                    for nb in self._neighbors[node]
-                ],
-                dtype=np.float64,
+                )
+                for nb in self._neighbors[node]
             )
-            bad = np.nonzero(~np.isfinite(via))[0]
-            entry = (via, bad if bad.size else None)
+            bad = tuple(j for j, value in enumerate(via) if not np.isfinite(value))
+            entry = (via, bad if bad else None)
             self._delay_via[key] = entry
         return entry
 
@@ -170,7 +198,6 @@ class ObservationAdapter:
                 or copy the vector before then.
         """
         flow, node, now = decision.flow, decision.node, decision.time
-        neighbors = self._neighbors[node]
         d = self.degree
         if out is None:
             target = self._scratch
@@ -181,71 +208,91 @@ class ObservationAdapter:
                 )
             target = out
         state = sim.state
+        k, combo_ids, caps, link_norm, sn_ids = self._node_tables[node]
+
+        # One gather for every load this observation reads (k outgoing
+        # links, then the 1+k self-and-neighbor nodes), converted to
+        # python floats: the per-element arithmetic below is then plain
+        # float math — the exact same IEEE ops, in the same order, as the
+        # scalar reference implementations in build_parts.
+        gather = self._gather[: 2 * k + 1]
+        state.loads_vector.take(combo_ids, out=gather)
+        loads = gather.tolist()
+
+        spec = flow.spec
+        ci = flow.component_index
+        deadline = spec.deadline
+        remaining = deadline - (now - spec.arrival_time)
 
         # F_f = <p̂_f, τ̂_f>
-        target[0] = flow.progress
-        target[1] = flow.normalized_remaining_time(now)
+        target[0] = 1.0 if ci is None else ci / flow.chain_length
+        target[1] = max(0.0, remaining / deadline)
 
         # R^L_v: free rate minus λ_f per outgoing link, clipped to [-1, 1].
-        rate = flow.data_rate
-        link_norm = self._max_link_capacity[node]
+        rate = spec.data_rate
         i = 2
-        for nb in neighbors:
-            value = (state.link_free(node, nb) - rate) / link_norm
-            target[i] = -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
-            i += 1
-        target[i : 2 + d] = DUMMY
+        for j in range(k):
+            value = (caps[j] - loads[j] - rate) / link_norm
+            target[i + j] = (
+                -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
+            )
 
         # R^V_v: free compute minus r_c(λ_f) at v and neighbors, clipped.
-        if flow.fully_processed:
-            component = None
+        component_name: Optional[str]
+        if ci is None:
+            component_name = None
             demand = 0.0
         else:
-            service = self.catalog.service(flow.service)
-            component = service.component_at(flow.component_index)
-            demand = component.resources(rate)
+            service = flow.service_obj
+            if service is not None and flow.demands is not None:
+                component_name = service.components[ci].name
+                demand = flow.demands[ci]
+            else:
+                service = self.catalog.service(flow.service)
+                component = service.component_at(ci)
+                component_name = component.name
+                demand = component.resources(rate)
         node_norm = self._max_node_capacity
         i = 2 + d
-        value = (state.node_free(node) - demand) / node_norm
-        target[i] = -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
-        i += 1
-        for nb in neighbors:
-            value = (state.node_free(nb) - demand) / node_norm
-            target[i] = -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
-            i += 1
-        target[i : 3 + 2 * d] = DUMMY
+        for j in range(1 + k):
+            value = (caps[k + j] - loads[k + j] - demand) / node_norm
+            target[i + j] = (
+                -1.0 if value < -1.0 else (1.0 if value > 1.0 else value)
+            )
 
         # D_{v,f}: deadline margin via each neighbor (no upper clip).
-        # Same arithmetic as the scalar loop in _delays_to_egress, applied
-        # to the cached per-(node, egress) delay vector.
-        remaining = flow.remaining_time(now)
         i = 3 + 2 * d
-        k = len(neighbors)
-        seg = target[i : i + k]
         if remaining <= 0:
-            seg[:] = -1.0
+            target[i : i + k] = -1.0
         else:
             via, bad = self._delays_via(node, flow.egress)
-            np.subtract(remaining, via, out=seg)
-            seg /= remaining
-            np.maximum(seg, -1.0, out=seg)
+            for j in range(k):
+                value = (remaining - via[j]) / remaining
+                target[i + j] = -1.0 if value < -1.0 else value
             if bad is not None:
-                seg[bad] = -1.0
-        target[i + k : 3 + 3 * d] = DUMMY
+                for j in bad:
+                    target[i + j] = -1.0
 
-        # X_v: instance of the requested component at v / neighbors.
+        # X_v: instance of the requested component at v / neighbors, read
+        # as one gather from the state's per-component presence vector.
         i = 3 + 3 * d
-        if component is None:
-            target[i : i + 1 + len(neighbors)] = 0.0
-            i += 1 + len(neighbors)
+        seg = target[i : i + 1 + k]
+        presence = (
+            state.instance_presence(component_name)
+            if component_name is not None
+            else None
+        )
+        if presence is None:
+            seg[:] = 0.0
         else:
-            name = component.name
-            target[i] = 1.0 if state.has_instance(node, name) else 0.0
-            i += 1
-            for nb in neighbors:
-                target[i] = 1.0 if state.has_instance(nb, name) else 0.0
-                i += 1
-        target[i : self.size] = DUMMY
+            presence.take(sn_ids, out=seg)
+
+        # Dummy padding for nodes below the maximum degree.
+        if k != d:
+            target[2 + k : 2 + d] = DUMMY
+            target[3 + d + k : 3 + 2 * d] = DUMMY
+            target[3 + 2 * d + k : 3 + 3 * d] = DUMMY
+            target[4 + 3 * d + k : self.size] = DUMMY
 
         if out is not None or not copy:
             return target

@@ -27,15 +27,37 @@ def log_softmax(logits: np.ndarray) -> np.ndarray:
 
 
 class Categorical:
-    """Batch of categorical distributions parameterised by logits (N, K)."""
+    """Batch of categorical distributions parameterised by logits (N, K).
+
+    ``probs`` and ``log_probs`` are computed lazily and cached: the
+    action-selection hot path (Gumbel-max sampling + log_prob of the
+    chosen actions) never touches ``probs``, so each act() call skips one
+    full softmax.
+    """
+
+    __slots__ = ("logits", "_probs", "_log_probs")
 
     def __init__(self, logits: np.ndarray) -> None:
         logits = np.asarray(logits, dtype=np.float64)
         if logits.ndim != 2:
             raise ValueError(f"logits must be 2-D (batch, actions), got {logits.shape}")
         self.logits = logits
-        self.probs = softmax(logits)
-        self.log_probs = log_softmax(logits)
+        self._probs: "np.ndarray | None" = None
+        self._log_probs: "np.ndarray | None" = None
+
+    @property
+    def probs(self) -> np.ndarray:
+        probs = self._probs
+        if probs is None:
+            probs = self._probs = softmax(self.logits)
+        return probs
+
+    @property
+    def log_probs(self) -> np.ndarray:
+        log_probs = self._log_probs
+        if log_probs is None:
+            log_probs = self._log_probs = log_softmax(self.logits)
+        return log_probs
 
     @property
     def num_actions(self) -> int:

@@ -80,6 +80,16 @@ class KFAC:
         self._G: List[np.ndarray] = [np.eye(d.weight.shape[1]) for d in layers]
         self._A_inv: List[Optional[np.ndarray]] = [None] * len(layers)
         self._G_inv: List[Optional[np.ndarray]] = [None] * len(layers)
+        # Hot-loop scratch, allocated once: the damping identities reused
+        # by every _refresh_inverses, per-layer buffers for the new factor
+        # statistics, and gradient copies for step()'s in-place clipping.
+        self._eye_A: List[np.ndarray] = [np.eye(d.weight.shape[0]) for d in layers]
+        self._eye_G: List[np.ndarray] = [np.eye(d.weight.shape[1]) for d in layers]
+        self._A_new: List[np.ndarray] = [np.empty_like(a) for a in self._A]
+        self._G_new: List[np.ndarray] = [np.empty_like(g) for g in self._G]
+        self._grad_scratch: List[np.ndarray] = [
+            np.empty_like(d.weight) for d in layers
+        ]
         self._steps = 0
         self._stat_updates = 0
         #: Trust-region rescale of the most recent :meth:`step` (1.0 when
@@ -109,10 +119,19 @@ class KFAC:
                     "pass beforehand"
                 )
             batch = aug.shape[0]
-            a_new = aug.T @ aug / batch
-            g_new = g.T @ g / batch
-            self._A[i] = decay * self._A[i] + (1.0 - decay) * a_new
-            self._G[i] = decay * self._G[i] + (1.0 - decay) * g_new
+            # In-place EMA into the running factors; elementwise identical
+            # to ``decay * A + (1 - decay) * (aug.T @ aug / batch)`` but
+            # without allocating fresh factor-sized arrays per update.
+            a_new = np.matmul(aug.T, aug, out=self._A_new[i])
+            a_new /= batch
+            g_new = np.matmul(g.T, g, out=self._G_new[i])
+            g_new /= batch
+            self._A[i] *= decay
+            a_new *= 1.0 - decay
+            self._A[i] += a_new
+            self._G[i] *= decay
+            g_new *= 1.0 - decay
+            self._G[i] += g_new
 
     def _refresh_inverses(self) -> None:
         for i, (a, g) in enumerate(zip(self._A, self._G)):
@@ -123,8 +142,8 @@ class KFAC:
             pi = np.sqrt(tr_a / tr_g)
             eps_a = np.sqrt(self.damping) * pi
             eps_g = np.sqrt(self.damping) / pi
-            self._A_inv[i] = np.linalg.inv(a + eps_a * np.eye(a.shape[0]))
-            self._G_inv[i] = np.linalg.inv(g + eps_g * np.eye(g.shape[0]))
+            self._A_inv[i] = np.linalg.inv(a + eps_a * self._eye_A[i])
+            self._G_inv[i] = np.linalg.inv(g + eps_g * self._eye_G[i])
 
     # ------------------------------------------------------------------
 
@@ -138,7 +157,11 @@ class KFAC:
             raise ValueError(
                 f"got {len(grads)} gradients for {len(self.model.dense_layers)} layers"
             )
-        grads = [g.copy() for g in grads]
+        # Copy into the preallocated scratch so the in-place norm clip
+        # below cannot mutate the caller's arrays.
+        for buf, g in zip(self._grad_scratch, grads):
+            np.copyto(buf, g)
+        grads = self._grad_scratch
         if self.max_grad_norm is not None:
             from repro.nn.optim import clip_grads_by_norm
 

@@ -55,6 +55,14 @@ class Dense:
         self.grad = np.zeros_like(self.weight)
         self.last_input_aug: Optional[np.ndarray] = None
         self.last_output_grad: Optional[np.ndarray] = None
+        # Reusable bias-augmented input buffers, keyed by batch size: the
+        # training loop alternates between a small act batch and the large
+        # update batch thousands of times, so forward() fills a cached
+        # buffer instead of concatenating a fresh (N, in+1) array per call.
+        # Consequence: ``last_input_aug`` holds the buffer, whose contents
+        # are only valid until the next same-batch-size forward — which is
+        # exactly the lifetime backward() and KFAC.update_stats() rely on.
+        self._aug_buffers: dict = {}
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """``z = [x, 1] W`` for a batch ``x`` of shape (N, in_dim)."""
@@ -62,7 +70,13 @@ class Dense:
             raise ValueError(
                 f"Dense({self.in_dim},{self.out_dim}): bad input shape {x.shape}"
             )
-        aug = np.concatenate([x, np.ones((x.shape[0], 1))], axis=1)
+        n = x.shape[0]
+        aug = self._aug_buffers.get(n)
+        if aug is None:
+            aug = np.empty((n, self.in_dim + 1), dtype=np.float64)
+            aug[:, -1] = 1.0
+            self._aug_buffers[n] = aug
+        aug[:, :-1] = x
         self.last_input_aug = aug
         return aug @ self.weight
 

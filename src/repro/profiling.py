@@ -1,0 +1,123 @@
+"""Low-overhead phase attribution for the training inner loop.
+
+The training loop spends its time in four places: advancing the flow
+simulator, building observations, running the policy networks forward for
+action selection, and applying the optimizer update (which includes the
+update's own forward/backward passes).  :class:`PhaseAccumulator` holds
+one float per phase and the hot paths add raw ``perf_counter`` deltas to
+it directly — no context managers, no dict lookups — so profiling costs
+two branches and two clock reads per step and *nothing at all* when
+disabled (a single ``is None`` check).
+
+Enable globally with ``REPRO_PROFILE_PHASES=1`` (trainers then attach an
+accumulator automatically and emit a ``train_phases`` telemetry record at
+the end of ``train()``), or attach one explicitly::
+
+    trainer = ACKTRTrainer(factory, config, seed=0)
+    prof = trainer.attach_profiler(PhaseAccumulator())
+    trainer.train(updates)
+    print(prof.render())
+
+Unlike :class:`repro.telemetry.phases.PhaseTimer` (coarse, contextmanager
+based, for benchmark *stages*), this module is built for per-decision
+granularity inside the training loop.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["PhaseAccumulator", "phase_profiling_enabled", "PHASE_NAMES"]
+
+#: Canonical phase order for reports.
+PHASE_NAMES: Tuple[str, ...] = (
+    "sim_advance",
+    "obs_build",
+    "policy_forward",
+    "optimizer_update",
+)
+
+
+def phase_profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE_PHASES`` requests automatic profiling."""
+    return os.environ.get("REPRO_PROFILE_PHASES", "").strip().lower() in {
+        "1",
+        "true",
+        "yes",
+        "on",
+    }
+
+
+class PhaseAccumulator:
+    """Per-phase wall-clock totals for one training run.
+
+    Attributes (all seconds, accumulated):
+        sim_advance: ``Simulator.apply_action`` + ``next_decision`` +
+            outcome draining, plus episode (re)starts.
+        obs_build: ``ObservationAdapter.build`` calls.
+        policy_forward: actor+critic forwards for action selection and
+            bootstrap values during rollout collection.
+        optimizer_update: the whole ``_apply_update`` (update-batch
+            forward/backward passes and the optimizer step itself).
+    """
+
+    __slots__ = (
+        "sim_advance",
+        "obs_build",
+        "policy_forward",
+        "optimizer_update",
+        "steps",
+        "updates",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.sim_advance = 0.0
+        self.obs_build = 0.0
+        self.policy_forward = 0.0
+        self.optimizer_update = 0.0
+        #: Env steps and optimizer updates attributed so far.
+        self.steps = 0
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all attributed phase time."""
+        return (
+            self.sim_advance
+            + self.obs_build
+            + self.policy_forward
+            + self.optimizer_update
+        )
+
+    @property
+    def phases(self) -> List[Tuple[str, float]]:
+        """(name, seconds) pairs in canonical order."""
+        return [(name, getattr(self, name)) for name in PHASE_NAMES]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready breakdown, shape-compatible with PhaseTimer.to_dict."""
+        return {
+            "phases": [
+                {"name": name, "seconds": seconds} for name, seconds in self.phases
+            ],
+            "total_seconds": self.total_seconds,
+            "steps": self.steps,
+            "updates": self.updates,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable breakdown with percentages."""
+        total = self.total_seconds
+        if total <= 0.0:
+            return "phases: (none)"
+        parts = [
+            f"{name}={seconds:.3f}s ({100.0 * seconds / total:.0f}%)"
+            for name, seconds in self.phases
+        ]
+        return "phases: " + " ".join(parts)

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.nn.distributions import Categorical
 from repro.nn.optim import RMSprop, clip_grads_by_norm
+from repro.profiling import PhaseAccumulator, phase_profiling_enabled
 from repro.rl.buffer import RolloutBuffer
 from repro.rl.policy import ActorCriticPolicy
 from repro.rl.runner import Env, EpisodeRecord, ParallelRunner
@@ -124,6 +125,28 @@ class A2CTrainer:
         #: All finished-episode records, in completion order.
         self.episode_history: List[EpisodeRecord] = []
         self.updates_done = 0
+        #: Phase-time attribution (sim-advance / obs-build / policy-forward
+        #: / optimizer-update); None unless attached explicitly or enabled
+        #: globally with ``REPRO_PROFILE_PHASES=1``.
+        self.profiler: Optional[PhaseAccumulator] = None
+        if phase_profiling_enabled():
+            self.attach_profiler(PhaseAccumulator())
+
+    def attach_profiler(self, profiler: PhaseAccumulator) -> PhaseAccumulator:
+        """Wire ``profiler`` into the trainer, runner, and every env.
+
+        Returns the profiler for chaining.  Envs that do not expose a
+        ``profiler`` attribute (non-ServiceCoordinationEnv test doubles)
+        are skipped silently — their time simply stays unattributed.
+        """
+        self.profiler = profiler
+        self.runner.profiler = profiler
+        for env in self.envs:
+            try:
+                env.profiler = profiler
+            except AttributeError:
+                pass
+        return profiler
 
     def _build_optimizers(self) -> None:
         self.actor_optimizer = RMSprop(
@@ -147,7 +170,14 @@ class A2CTrainer:
         if self.config.normalize_advantages and advantages.size > 1:
             advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
 
-        stats = self._apply_update(obs, actions, returns, advantages)
+        prof = self.profiler
+        if prof is None:
+            stats = self._apply_update(obs, actions, returns, advantages)
+        else:
+            update_start = _time.perf_counter()
+            stats = self._apply_update(obs, actions, returns, advantages)
+            prof.optimizer_update += _time.perf_counter() - update_start
+            prof.updates += 1
         self.updates_done += 1
         if record:
             fields = {
@@ -214,8 +244,14 @@ class A2CTrainer:
     # ------------------------------------------------------------------
 
     def train(self, total_updates: int, log_every: int = 0) -> List[UpdateStats]:
-        """Run ``total_updates`` updates; optionally print progress."""
+        """Run ``total_updates`` updates; optionally print progress.
+
+        With a profiler attached, finishes by emitting one
+        ``train_phases`` telemetry record attributing the run's wall time
+        to sim-advance / obs-build / policy-forward / optimizer-update.
+        """
         history = []
+        wall_start = _time.perf_counter()
         for i in range(total_updates):
             stats = self.update()
             history.append(stats)
@@ -229,6 +265,15 @@ class A2CTrainer:
                     f"pi_loss={stats.policy_loss:.4f} v_loss={stats.value_loss:.4f} "
                     f"entropy={stats.entropy:.3f} ep_reward={mean_ep:.1f}"
                 )
+        prof = self.profiler
+        if prof is not None and self.recorder.enabled:
+            self.recorder.emit(
+                "train_phases",
+                seed=self.seed,
+                updates=total_updates,
+                wall_seconds=_time.perf_counter() - wall_start,
+                **{name: seconds for name, seconds in prof.phases},
+            )
         return history
 
     def mean_recent_episode_reward(self, window: int = 20) -> float:

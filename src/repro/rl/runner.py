@@ -9,7 +9,8 @@ algorithm requires.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Protocol, Tuple
+from time import perf_counter
+from typing import Any, Dict, List, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -36,9 +37,14 @@ class Env(Protocol):
         ...
 
 
-@dataclass
+@dataclass(slots=True)
 class EpisodeRecord:
-    """Summary of one finished episode."""
+    """Summary of one finished episode.
+
+    ``info`` holds only the terminal-info fields the runner was asked to
+    keep (:class:`ParallelRunner` ``info_keys``), not a copy of the env's
+    whole info dict.
+    """
 
     total_reward: float
     length: int
@@ -54,6 +60,11 @@ class ParallelRunner:
         n_steps: Transitions per environment per rollout (mini-batch b has
             ``l * n_steps`` experiences).
         rng: Generator for action sampling.
+        info_keys: Terminal-info fields copied into each
+            :class:`EpisodeRecord` (default: just ``success_ratio``, the
+            only field the training pipeline consumes).  Episodes end
+            thousands of times per run, so the runner materialises these
+            few fields instead of copying the env's whole info dict.
     """
 
     def __init__(
@@ -62,6 +73,7 @@ class ParallelRunner:
         policy: ActorCriticPolicy,
         n_steps: int,
         rng: np.random.Generator,
+        info_keys: Sequence[str] = ("success_ratio",),
     ) -> None:
         if not envs:
             raise ValueError("need at least one environment")
@@ -78,6 +90,11 @@ class ParallelRunner:
         self.policy = policy
         self.n_steps = n_steps
         self.rng = rng
+        self.info_keys = tuple(info_keys)
+        #: Optional :class:`repro.profiling.PhaseAccumulator`; when set,
+        #: collect() attributes action selection and bootstrap-value
+        #: forwards to the ``policy_forward`` phase.
+        self.profiler = None
         # The runner copies every observation into its preallocated
         # buffers before the env builds the next one, so envs that
         # support it may return their adapter's scratch buffer instead
@@ -109,9 +126,14 @@ class ParallelRunner:
         recorded in :attr:`finished_episodes` and their env auto-reset.
         """
         buffer.reset()
+        prof = self.profiler
         next_obs, rewards, dones = self._next_obs, self._rewards, self._dones
+        info_keys = self.info_keys
         for _ in range(self.n_steps):
+            start = perf_counter() if prof is not None else 0.0
             actions, values, _ = self.policy.act(self._obs, self.rng)
+            if prof is not None:
+                prof.policy_forward += perf_counter() - start
             for i, env in enumerate(self.envs):
                 obs, reward, done, info = env.step(int(actions[i]))
                 self._episode_rewards[i] += reward
@@ -121,7 +143,7 @@ class ParallelRunner:
                         EpisodeRecord(
                             total_reward=float(self._episode_rewards[i]),
                             length=int(self._episode_lengths[i]),
-                            info=dict(info),
+                            info={k: info[k] for k in info_keys if k in info},
                         )
                     )
                     self._episode_rewards[i] = 0.0
@@ -135,7 +157,11 @@ class ParallelRunner:
             # be swapped instead of reallocated.
             self._obs, next_obs = next_obs, self._obs
         self._next_obs, self._rewards, self._dones = next_obs, rewards, dones
-        return self.policy.values(self._obs)
+        start = perf_counter() if prof is not None else 0.0
+        last_values = self.policy.values(self._obs)
+        if prof is not None:
+            prof.policy_forward += perf_counter() - start
+        return last_values
 
     def drain_episodes(self) -> List[EpisodeRecord]:
         episodes, self.finished_episodes = self.finished_episodes, []

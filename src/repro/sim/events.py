@@ -141,6 +141,28 @@ class EventQueue:
             event._queue = None
         return self._heap[0][0] if self._heap else None
 
+    def pop_due(self, horizon: float) -> Optional[Event]:
+        """Pop the earliest live event with ``time <= horizon``, or None.
+
+        Equivalent to ``peek_time()`` followed by ``pop()`` but in a
+        single heap pass; an event beyond the horizon stays queued.  This
+        is the simulator's per-event fast path.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[2]._cancelled:
+                _, _, event = heapq.heappop(heap)
+                event._queue = None
+                continue
+            if head[0] > horizon:
+                return None
+            _, _, event = heapq.heappop(heap)
+            event._queue = None
+            self._live -= 1
+            return event
+        return None
+
     def __len__(self) -> int:
         return self._live
 

@@ -59,7 +59,7 @@ __all__ = [
 ACTION_PROCESS_LOCALLY = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecisionPoint:
     """A pending coordination decision.
 
@@ -84,7 +84,7 @@ class OutcomeKind(Enum):
     FLOW_KEPT = auto()          # -1 / D_G
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Outcome:
     """One semantic outcome.
 
@@ -105,7 +105,7 @@ class Outcome:
     drop_reason: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _Residence:
     """Tracks a flow currently resident in an instance (for drop cleanup)."""
 
@@ -176,15 +176,9 @@ class Simulator:
                 "previous decision not resolved; call apply_action() first"
             )
         while True:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > self.config.horizon:
-                return None
-            event = self._queue.pop()
+            event = self._queue.pop_due(self.config.horizon)
             if event is None:
-                raise InvariantViolation(
-                    "event queue empty right after peek_time() returned a time",
-                    peeked_time=next_time,
-                )
+                return None
             if self._sanitize:
                 check(event.time >= self.now,
                       "event time moved backwards (monotonicity broken)",
@@ -222,18 +216,17 @@ class Simulator:
             self._drop(flow, DropReason.DEADLINE_EXPIRED)
             return
 
-        neighbors = self.network.neighbors(node)
         if action == ACTION_PROCESS_LOCALLY:
             if flow.fully_processed:
                 self._keep_flow(flow, node)
             else:
                 self._process_locally(flow, node)
-        elif action > len(neighbors):
+        elif action > len(self.network.neighbor_names(node)):
             # Valid action index, but this node has fewer neighbors: the
             # flow is sent to a dummy neighbor and dropped (high penalty).
             self._drop(flow, DropReason.INVALID_ACTION)
         else:
-            self._forward(flow, node, neighbors[action - 1])
+            self._forward(flow, node, action - 1)
 
     def drain_outcomes(self) -> List[Outcome]:
         """Return and clear the semantic outcomes accumulated so far."""
@@ -339,26 +332,30 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _dispatch(self, event: Event) -> None:
-        if event.kind is EventKind.FLOW_INJECTION:
-            self._inject(event.payload)
-        elif event.kind is EventKind.DECISION:
+        # Branches ordered by observed event frequency (decisions dominate,
+        # then link traffic and releases); dispatch order has no semantic
+        # effect since kinds are disjoint.
+        kind = event.kind
+        if kind is EventKind.DECISION:
             flow: Flow = event.payload
             if flow.status is FlowStatus.ACTIVE:
                 self._pending = DecisionPoint(self.now, flow, flow.current_node)
-        elif event.kind is EventKind.PROCESSING_DONE:
-            self._processing_done(event.payload)
-        elif event.kind is EventKind.LINK_ARRIVAL:
+        elif kind is EventKind.LINK_ARRIVAL:
             self._link_arrival(event.payload, event.node)
-        elif event.kind in (EventKind.RELEASE_NODE, EventKind.RELEASE_LINK):
+        elif kind is EventKind.RELEASE_NODE or kind is EventKind.RELEASE_LINK:
             self.state.release(event.payload)
-        elif event.kind is EventKind.INSTANCE_TIMEOUT:
+        elif kind is EventKind.PROCESSING_DONE:
+            self._processing_done(event.payload)
+        elif kind is EventKind.INSTANCE_TIMEOUT:
             self._instance_timeout(*event.payload)
-        elif event.kind is EventKind.FLOW_EXPIRY:
+        elif kind is EventKind.FLOW_INJECTION:
+            self._inject(event.payload)
+        elif kind is EventKind.FLOW_EXPIRY:
             flow = event.payload
             if flow.status is FlowStatus.ACTIVE:
                 self._drop(flow, DropReason.DEADLINE_EXPIRED)
         else:  # pragma: no cover - taxonomy is closed
-            raise ValueError(f"unhandled event kind {event.kind}")
+            raise ValueError(f"unhandled event kind {kind}")
 
     # ------------------------------------------------------------------
     # Flow lifecycle
@@ -385,7 +382,7 @@ class Simulator:
         if not self.network.has_node(spec.egress):
             raise ValueError(f"flow egress {spec.egress!r} not in network")
         service = self.catalog.service(spec.service)
-        flow = Flow(spec, chain_length=service.length)
+        flow = Flow(spec, chain_length=service.length, service=service)
         self._active_flows[flow.flow_id] = flow
         self.metrics.record_generated(flow)
         self._expiry_events[flow.flow_id] = self._queue.push(
@@ -446,17 +443,26 @@ class Simulator:
         )
 
     def _process_locally(self, flow: Flow, node: str) -> None:
-        service = self.catalog.service(flow.service)
+        service = flow.service_obj
+        if service is None:
+            service = self.catalog.service(flow.service)
         if flow.component_index is None:
             raise InvariantViolation(
                 "flow asked to process locally but its chain is already complete",
                 flow_id=flow.flow_id, node=node,
             )
-        component = service.component_at(flow.component_index)
-        demand = component.resources(flow.data_rate)
+        component = service.components[flow.component_index]
+        demands = flow.demands
+        demand = (
+            demands[flow.component_index]
+            if demands is not None
+            else component.resources(flow.data_rate)
+        )
 
         try:
-            allocation = self.state.allocate_node(node, demand, flow.flow_id)
+            allocation = self.state.allocate_node_id(
+                self.network.node_index[node], demand, flow.flow_id
+            )
         except CapacityError:
             self._drop(flow, DropReason.NODE_CAPACITY)
             return
@@ -517,28 +523,31 @@ class Simulator:
         )
         self._flow_at_node(flow)
 
-    def _forward(self, flow: Flow, node: str, neighbor: str) -> None:
-        link = self.network.link(node, neighbor)
+    def _forward(self, flow: Flow, node: str, neighbor_index: int) -> None:
+        network = self.network
+        neighbor = network.neighbor_names(node)[neighbor_index]
+        link_delay = network.neighbor_link_delays(node)[neighbor_index]
+        link_id = network.neighbor_link_id_tuple(node)[neighbor_index]
         try:
-            allocation = self.state.allocate_link(
-                node, neighbor, flow.data_rate, flow.flow_id
+            allocation = self.state.allocate_link_id(
+                link_id, flow.data_rate, flow.flow_id
             )
         except CapacityError:
             self._drop(flow, DropReason.LINK_CAPACITY)
             return
         self._allocations.setdefault(flow.flow_id, []).append(allocation)
         self._queue.push(
-            Event(self.now + link.delay, EventKind.LINK_ARRIVAL, flow, node=neighbor)
+            Event(self.now + link_delay, EventKind.LINK_ARRIVAL, flow, node=neighbor)
         )
         self._queue.push(
-            Event(self.now + link.delay + flow.duration, EventKind.RELEASE_LINK, allocation)
+            Event(self.now + link_delay + flow.duration, EventKind.RELEASE_LINK, allocation)
         )
         self._outcomes.append(
             Outcome(
                 OutcomeKind.LINK_TRAVERSED,
                 self.now,
                 flow.flow_id,
-                link_delay=link.delay,
+                link_delay=link_delay,
             )
         )
 

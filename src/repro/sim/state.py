@@ -10,6 +10,13 @@ Tracks, at any simulation instant:
   at which node, when each instance last processed a flow (for idle
   timeout) and when it becomes ready (startup delay).
 
+Loads live in flat float64 arrays indexed by the network's integer node
+and link ids (see ``Network._build_index_tables``): allocations update one
+array slot incrementally, and the observation adapter gathers whole
+neighborhoods with a single fancy index instead of per-neighbor dict
+lookups.  The name-based query API (``node_load(name)`` etc.) is kept for
+baselines and tests.
+
 Allocations are explicit records so that a flow that is dropped mid-flight
 (deadline expiry) can release everything it still holds, and so the later
 scheduled release events turn into no-ops instead of double-releasing.
@@ -19,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.analysis.invariants import InvariantViolation, check
 from repro.topology.network import Network, link_key
@@ -30,7 +39,7 @@ class CapacityError(Exception):
     """Raised when an allocation would exceed a node or link capacity."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Allocation:
     """One resource hold: ``amount`` on a node or link until released.
 
@@ -40,6 +49,9 @@ class Allocation:
         amount: Resources (node) or data rate (link) held.
         flow_id: Flow holding the allocation.
         released: Set once released; further releases are no-ops.
+        index: Integer node/link id of ``key`` in the network's index
+            tables; lets release() update the load array without a name
+            lookup.
     """
 
     kind: str
@@ -47,9 +59,10 @@ class Allocation:
     amount: float
     flow_id: int
     released: bool = False
+    index: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class InstanceState:
     """Runtime state of one component instance at one node.
 
@@ -74,34 +87,81 @@ class NetworkState:
 
     def __init__(self, network: Network) -> None:
         self.network = network
-        self._node_load: Dict[str, float] = {n: 0.0 for n in network.node_names}
-        self._link_load: Dict[Tuple[str, str], float] = {
-            link.key: 0.0 for link in network.links
-        }
+        self._node_index = network.node_index
+        self._link_index = network.link_index
+        self._node_caps = network.node_capacities
+        self._link_caps = network.link_capacities
+        # One backing buffer for all loads — links first, then nodes — so
+        # the observation adapter can gather a whole neighborhood (links +
+        # self-and-neighbor nodes) with a single fancy index into
+        # :attr:`loads_vector`.  The per-kind arrays are views.
+        self._loads = np.zeros(
+            network.num_links + network.num_nodes, dtype=np.float64
+        )
+        self._link_loads = self._loads[: network.num_links]
+        self._node_loads = self._loads[network.num_links :]
+        self._peak_node_loads = np.zeros(network.num_nodes, dtype=np.float64)
+        self._peak_link_loads = np.zeros(network.num_links, dtype=np.float64)
         self._instances: Dict[Tuple[str, str], InstanceState] = {}
-        #: Peak loads observed (for metrics / capacity planning output).
-        self.peak_node_load: Dict[str, float] = dict(self._node_load)
-        self.peak_link_load: Dict[Tuple[str, str], float] = dict(self._link_load)
+        # Per-component instance-presence arrays (1.0 where an instance of
+        # the component is placed, indexed by node id); created lazily on
+        # the first placement of each component.  The observation adapter
+        # reads X_v as one gather from these.
+        self._presence: Dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Load queries
     # ------------------------------------------------------------------
 
+    @property
+    def node_loads(self) -> np.ndarray:
+        """Current node loads indexed by node id.  Treat as read-only."""
+        return self._node_loads
+
+    @property
+    def link_loads(self) -> np.ndarray:
+        """Current link loads indexed by link id.  Treat as read-only."""
+        return self._link_loads
+
+    @property
+    def loads_vector(self) -> np.ndarray:
+        """All loads in one vector: link id ``i`` at slot ``i``, node id
+        ``j`` at slot ``num_links + j``.  Treat as read-only."""
+        return self._loads
+
     def node_load(self, node: str) -> float:
         """Current total resource consumption ``r_v(t)`` at ``node``."""
-        return self._node_load[node]
+        return float(self._node_loads[self._node_index[node]])
 
     def node_free(self, node: str) -> float:
         """Remaining compute capacity at ``node``."""
-        return self.network.node(node).capacity - self._node_load[node]
+        i = self._node_index[node]
+        return float(self._node_caps[i] - self._node_loads[i])
 
     def link_load(self, u: str, v: str) -> float:
         """Current total data rate ``r_l(t)`` on the undirected link (u, v)."""
-        return self._link_load[link_key(u, v)]
+        return float(self._link_loads[self._link_index[link_key(u, v)]])
 
     def link_free(self, u: str, v: str) -> float:
         """Remaining data rate on the undirected link (u, v)."""
-        return self.network.link(u, v).capacity - self.link_load(u, v)
+        i = self._link_index[link_key(u, v)]
+        return float(self._link_caps[i] - self._link_loads[i])
+
+    @property
+    def peak_node_load(self) -> Dict[str, float]:
+        """Peak node loads observed, by name (metrics / capacity planning)."""
+        peaks = self._peak_node_loads
+        return {
+            name: float(peaks[i]) for name, i in self._node_index.items()
+        }
+
+    @property
+    def peak_link_load(self) -> Dict[Tuple[str, str], float]:
+        """Peak link loads observed, by canonical link key."""
+        peaks = self._peak_link_loads
+        return {
+            key: float(peaks[i]) for key, i in self._link_index.items()
+        }
 
     # ------------------------------------------------------------------
     # Allocation / release
@@ -116,32 +176,51 @@ class NetworkState:
         """
         if amount < 0:
             raise ValueError(f"allocation amount must be >= 0, got {amount}")
-        capacity = self.network.node(node).capacity
+        return self.allocate_node_id(self._node_index[node], amount, flow_id)
+
+    def allocate_node_id(self, node_id: int, amount: float, flow_id: int) -> Allocation:
+        """:meth:`allocate_node` by integer node id (simulator hot path)."""
+        loads = self._node_loads
+        capacity = self._node_caps[node_id]
         # Small epsilon tolerates float accumulation across release/allocate
         # cycles; a genuinely over-capacity request still fails.
-        if self._node_load[node] + amount > capacity + 1e-9:
+        if loads[node_id] + amount > capacity + 1e-9:
+            node = self.network.node_name_at(node_id)
             raise CapacityError(
-                f"node {node}: load {self._node_load[node]:.4f} + {amount:.4f} "
+                f"node {node}: load {loads[node_id]:.4f} + {amount:.4f} "
                 f"exceeds capacity {capacity:.4f}"
             )
-        self._node_load[node] += amount
-        self.peak_node_load[node] = max(self.peak_node_load[node], self._node_load[node])
-        return Allocation("node", node, amount, flow_id)
+        loads[node_id] += amount
+        if loads[node_id] > self._peak_node_loads[node_id]:
+            self._peak_node_loads[node_id] = loads[node_id]
+        return Allocation(
+            "node", self.network.node_name_at(node_id), amount, flow_id,
+            index=node_id,
+        )
 
     def allocate_link(self, u: str, v: str, rate: float, flow_id: int) -> Allocation:
         """Reserve ``rate`` on link (u, v); :class:`CapacityError` if full."""
         if rate < 0:
             raise ValueError(f"allocation rate must be >= 0, got {rate}")
-        key = link_key(u, v)
-        capacity = self.network.link(u, v).capacity
-        if self._link_load[key] + rate > capacity + 1e-9:
+        return self.allocate_link_id(self._link_index[link_key(u, v)], rate, flow_id)
+
+    def allocate_link_id(self, link_id: int, rate: float, flow_id: int) -> Allocation:
+        """:meth:`allocate_link` by integer link id (simulator hot path)."""
+        loads = self._link_loads
+        capacity = self._link_caps[link_id]
+        if loads[link_id] + rate > capacity + 1e-9:
+            key = self.network.link_key_at(link_id)
             raise CapacityError(
-                f"link {key}: load {self._link_load[key]:.4f} + {rate:.4f} "
+                f"link {key}: load {loads[link_id]:.4f} + {rate:.4f} "
                 f"exceeds capacity {capacity:.4f}"
             )
-        self._link_load[key] += rate
-        self.peak_link_load[key] = max(self.peak_link_load[key], self._link_load[key])
-        return Allocation("link", key, rate, flow_id)
+        loads[link_id] += rate
+        if loads[link_id] > self._peak_link_loads[link_id]:
+            self._peak_link_loads[link_id] = loads[link_id]
+        return Allocation(
+            "link", self.network.link_key_at(link_id), rate, flow_id,
+            index=link_id,
+        )
 
     def release(self, allocation: Allocation) -> None:
         """Release an allocation; idempotent (double release is a no-op)."""
@@ -149,28 +228,38 @@ class NetworkState:
             return
         allocation.released = True
         if allocation.kind == "node":
-            node = allocation.key
-            if not isinstance(node, str):
-                raise InvariantViolation("node allocation key must be a node name",
-                                         key=node)
-            self._node_load[node] -= allocation.amount
+            i = allocation.index
+            if i < 0:
+                if not isinstance(allocation.key, str):
+                    raise InvariantViolation(
+                        "node allocation key must be a node name", key=allocation.key
+                    )
+                i = self._node_index[allocation.key]
+            loads = self._node_loads
+            loads[i] -= allocation.amount
             # Clamp float dust so long simulations cannot drift negative.
-            if -1e-9 < self._node_load[node] < 0:
-                self._node_load[node] = 0.0
-            check(self._node_load[node] >= 0, "negative node load after release",
-                  node=node, load=self._node_load[node],
-                  released=allocation.amount, flow_id=allocation.flow_id)
+            if -1e-9 < loads[i] < 0:
+                loads[i] = 0.0
+            if not loads[i] >= 0:
+                check(False, "negative node load after release",
+                      node=allocation.key, load=float(loads[i]),
+                      released=allocation.amount, flow_id=allocation.flow_id)
         elif allocation.kind == "link":
-            link = allocation.key
-            if not isinstance(link, tuple):
-                raise InvariantViolation("link allocation key must be a link tuple",
-                                         key=link)
-            self._link_load[link] -= allocation.amount
-            if -1e-9 < self._link_load[link] < 0:
-                self._link_load[link] = 0.0
-            check(self._link_load[link] >= 0, "negative link load after release",
-                  link=link, load=self._link_load[link],
-                  released=allocation.amount, flow_id=allocation.flow_id)
+            i = allocation.index
+            if i < 0:
+                if not isinstance(allocation.key, tuple):
+                    raise InvariantViolation(
+                        "link allocation key must be a link tuple", key=allocation.key
+                    )
+                i = self._link_index[allocation.key]
+            loads = self._link_loads
+            loads[i] -= allocation.amount
+            if -1e-9 < loads[i] < 0:
+                loads[i] = 0.0
+            if not loads[i] >= 0:
+                check(False, "negative link load after release",
+                      link=allocation.key, load=float(loads[i]),
+                      released=allocation.amount, flow_id=allocation.flow_id)
         else:  # pragma: no cover - allocation kinds are fixed above
             raise ValueError(f"unknown allocation kind {allocation.kind!r}")
 
@@ -181,6 +270,12 @@ class NetworkState:
     def has_instance(self, node: str, component: str) -> bool:
         """``x_{c,v}(t)`` — is an instance of ``component`` placed at ``node``?"""
         return (node, component) in self._instances
+
+    def instance_presence(self, component: str) -> Optional[np.ndarray]:
+        """Presence vector of ``component`` indexed by node id (1.0 where an
+        instance is placed), or None when the component was never placed.
+        Treat as read-only."""
+        return self._presence.get(component)
 
     def instance(self, node: str, component: str) -> Optional[InstanceState]:
         return self._instances.get((node, component))
@@ -193,6 +288,11 @@ class NetworkState:
         inst = InstanceState(node=node, component=component, ready_at=now + startup_delay,
                              idle_since=now + startup_delay)
         self._instances[key] = inst
+        presence = self._presence.get(component)
+        if presence is None:
+            presence = np.zeros(len(self._node_index), dtype=np.float64)
+            self._presence[component] = presence
+        presence[self._node_index[node]] = 1.0
         return inst
 
     def remove_instance(self, node: str, component: str) -> None:
@@ -206,6 +306,7 @@ class NetworkState:
                 f"({inst.busy_flows} flows resident)"
             )
         del self._instances[(node, component)]
+        self._presence[component][self._node_index[node]] = 0.0
 
     def instance_begin_flow(self, node: str, component: str) -> None:
         """Mark one more flow resident in the instance (it is now busy)."""
@@ -241,24 +342,38 @@ class NetworkState:
     def check_invariants(self) -> None:
         """Verify capacity conservation: no load negative or above capacity.
 
-        Cheap enough to run after every event in tests and sanitizer runs
-        (``REPRO_CHECK_INVARIANTS=1``); not called in the hot path of
-        production simulations.
+        Vectorised over the load arrays so the sanitizer sweep
+        (``REPRO_CHECK_INVARIANTS=1``) stays cheap even on large
+        topologies; the detailed per-entry report is only assembled once a
+        violation is found.
 
         Raises:
-            InvariantViolation: A node/link load left ``[0, capacity]``
-                or an instance has a negative busy count.
+            InvariantViolation: A node/link load left ``[0, capacity]``,
+                an instance has a negative busy count, or a presence
+                vector disagrees with the instance table.
         """
-        for node, load in self._node_load.items():
-            capacity = self.network.node(node).capacity
-            check(-1e-9 <= load <= capacity + 1e-6,
-                  "node load outside capacity bounds",
-                  node=node, load=load, capacity=capacity)
-        for key, load in self._link_load.items():
-            capacity = self.network.link(*key).capacity
-            check(-1e-9 <= load <= capacity + 1e-6,
-                  "link load outside capacity bounds",
-                  link=key, load=load, capacity=capacity)
+        node_loads, link_loads = self._node_loads, self._link_loads
+        if np.any(node_loads < -1e-9) or np.any(node_loads > self._node_caps + 1e-6):
+            for node, i in self._node_index.items():
+                check(-1e-9 <= node_loads[i] <= self._node_caps[i] + 1e-6,
+                      "node load outside capacity bounds",
+                      node=node, load=float(node_loads[i]),
+                      capacity=float(self._node_caps[i]))
+        if np.any(link_loads < -1e-9) or np.any(link_loads > self._link_caps + 1e-6):
+            for key, i in self._link_index.items():
+                check(-1e-9 <= link_loads[i] <= self._link_caps[i] + 1e-6,
+                      "link load outside capacity bounds",
+                      link=key, load=float(link_loads[i]),
+                      capacity=float(self._link_caps[i]))
         for (node, comp), inst in self._instances.items():
             check(inst.busy_flows >= 0, "negative instance busy count",
                   node=node, component=comp, busy_flows=inst.busy_flows)
+        for comp, presence in self._presence.items():
+            placed = {n for (n, c) in self._instances if c == comp}
+            marked = {
+                self.network.node_name_at(i)
+                for i in np.nonzero(presence)[0]
+            }
+            check(placed == marked,
+                  "instance presence vector out of sync with instance table",
+                  component=comp, placed=sorted(placed), marked=sorted(marked))

@@ -57,6 +57,15 @@ Record kinds
     One named wall-clock phase (e.g. ``train`` vs ``evaluate`` in a
     benchmark): ``name``, ``seconds``.
 
+``train_phases``
+    Phase attribution of one training run (emitted by
+    :meth:`repro.rl.a2c.A2CTrainer.train` when a
+    :class:`repro.profiling.PhaseAccumulator` is attached): ``updates``
+    plus wall-clock seconds per phase (``sim_advance``, ``obs_build``,
+    ``policy_forward``, ``optimizer_update``); optionally ``seed`` and
+    ``wall_seconds``.  Purely timing-valued, so determinism checks drop
+    it entirely.
+
 ``note``
     Freeform annotation: ``message``.
 
@@ -108,7 +117,7 @@ TIMING_FIELDS = frozenset(
 #: Record kinds that carry only timing information (dropped entirely by
 #: :func:`canonical_stream`; their non-timing fields — mode, workers —
 #: legitimately differ between serial and parallel runs).
-TIMING_KINDS = frozenset({"task_timing", "batch_timing", "phase"})
+TIMING_KINDS = frozenset({"task_timing", "batch_timing", "phase", "train_phases"})
 
 _NUM = numbers.Real
 _INT = numbers.Integral
@@ -168,6 +177,13 @@ RECORD_SCHEMAS: Dict[str, Dict[str, Any]] = {
     "phase": {
         "name": str,
         "seconds": _NUM,
+    },
+    "train_phases": {
+        "updates": _INT,
+        "sim_advance": _NUM,
+        "obs_build": _NUM,
+        "policy_forward": _NUM,
+        "optimizer_update": _NUM,
     },
     "note": {
         "message": str,

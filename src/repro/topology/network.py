@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.analysis.invariants import InvariantViolation
 
 
@@ -157,6 +159,61 @@ class Network:
         self._dist, self._next_hop = self._all_pairs_shortest_delay()
         finite = [d for row in self._dist.values() for d in row.values() if math.isfinite(d)]
         self._diameter: float = max(finite, default=0.0)
+        self._build_index_tables()
+
+    def _build_index_tables(self) -> None:
+        """Integer-indexed views of the topology for the simulation hot path.
+
+        Node and link ids follow insertion order; the per-node neighbor
+        tables follow the sorted neighbor order (so position ``a - 1`` in
+        every table corresponds to DRL action ``a``).  The runtime state
+        (:class:`repro.sim.state.NetworkState`) keeps utilisation in flat
+        arrays indexed by these ids, and the observation adapter gathers
+        whole neighborhoods with one fancy index instead of per-neighbor
+        dict lookups.
+        """
+        self._node_name_list: Tuple[str, ...] = tuple(self._nodes)
+        self.node_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self._node_name_list)
+        }
+        self._node_capacities = np.array(
+            [node.capacity for node in self._nodes.values()], dtype=np.float64
+        )
+        self._link_key_list: Tuple[Tuple[str, str], ...] = tuple(self._links)
+        self.link_index: Dict[Tuple[str, str], int] = {
+            key: i for i, key in enumerate(self._link_key_list)
+        }
+        self._link_capacities = np.array(
+            [link.capacity for link in self._links.values()], dtype=np.float64
+        )
+        idx = self.node_index
+        self._neighbor_names: Dict[str, Tuple[str, ...]] = {}
+        self._neighbor_node_ids: Dict[str, np.ndarray] = {}
+        self._neighbor_link_ids: Dict[str, np.ndarray] = {}
+        self._self_and_neighbor_ids: Dict[str, np.ndarray] = {}
+        self._neighbor_link_caps: Dict[str, np.ndarray] = {}
+        self._self_and_neighbor_caps: Dict[str, np.ndarray] = {}
+        self._neighbor_link_delay_tuple: Dict[str, Tuple[float, ...]] = {}
+        self._neighbor_link_id_tuple: Dict[str, Tuple[int, ...]] = {}
+        for name, adjacent in self._adjacency.items():
+            self._neighbor_names[name] = tuple(adjacent)
+            node_ids = np.array([idx[nb] for nb in adjacent], dtype=np.intp)
+            link_ids = [self.link_index[link_key(name, nb)] for nb in adjacent]
+            self._neighbor_node_ids[name] = node_ids
+            self._neighbor_link_ids[name] = np.array(link_ids, dtype=np.intp)
+            self._self_and_neighbor_ids[name] = np.concatenate(
+                [np.array([idx[name]], dtype=np.intp), node_ids]
+            )
+            self._neighbor_link_caps[name] = self._link_capacities[
+                self._neighbor_link_ids[name]
+            ].copy()
+            self._self_and_neighbor_caps[name] = self._node_capacities[
+                self._self_and_neighbor_ids[name]
+            ].copy()
+            self._neighbor_link_delay_tuple[name] = tuple(
+                self._links[link_key(name, nb)].delay for nb in adjacent
+            )
+            self._neighbor_link_id_tuple[name] = tuple(link_ids)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -205,6 +262,64 @@ class Network:
     def degree_of(self, name: str) -> int:
         """Number of neighbors of node ``name``."""
         return len(self._adjacency[name])
+
+    # ------------------------------------------------------------------
+    # Integer-indexed hot-path accessors (see _build_index_tables)
+    # ------------------------------------------------------------------
+
+    def neighbor_names(self, name: str) -> Tuple[str, ...]:
+        """Sorted neighbors of ``name`` as a shared (immutable) tuple.
+
+        Same order as :meth:`neighbors` without the per-call list copy —
+        the simulator resolves every decision through this.
+        """
+        return self._neighbor_names[name]
+
+    def node_name_at(self, node_id: int) -> str:
+        """Node name for an integer node id (insertion order)."""
+        return self._node_name_list[node_id]
+
+    def link_key_at(self, link_id: int) -> Tuple[str, str]:
+        """Canonical link key for an integer link id (insertion order)."""
+        return self._link_key_list[link_id]
+
+    @property
+    def node_capacities(self) -> np.ndarray:
+        """Node capacities indexed by node id.  Treat as read-only."""
+        return self._node_capacities
+
+    @property
+    def link_capacities(self) -> np.ndarray:
+        """Link capacities indexed by link id.  Treat as read-only."""
+        return self._link_capacities
+
+    def neighbor_node_ids(self, name: str) -> np.ndarray:
+        """Node ids of ``name``'s neighbors, in sorted-neighbor order."""
+        return self._neighbor_node_ids[name]
+
+    def neighbor_link_ids(self, name: str) -> np.ndarray:
+        """Link ids of ``name``'s incident links, in sorted-neighbor order."""
+        return self._neighbor_link_ids[name]
+
+    def neighbor_link_id_tuple(self, name: str) -> Tuple[int, ...]:
+        """Same as :meth:`neighbor_link_ids` but as plain Python ints."""
+        return self._neighbor_link_id_tuple[name]
+
+    def self_and_neighbor_ids(self, name: str) -> np.ndarray:
+        """Node ids of ``[name] + neighbors`` — the observation gather index."""
+        return self._self_and_neighbor_ids[name]
+
+    def neighbor_link_capacities(self, name: str) -> np.ndarray:
+        """Capacities of ``name``'s incident links, aligned with neighbors."""
+        return self._neighbor_link_caps[name]
+
+    def self_and_neighbor_capacities(self, name: str) -> np.ndarray:
+        """Node capacities of ``[name] + neighbors``."""
+        return self._self_and_neighbor_caps[name]
+
+    def neighbor_link_delays(self, name: str) -> Tuple[float, ...]:
+        """Delays of ``name``'s incident links, aligned with neighbors."""
+        return self._neighbor_link_delay_tuple[name]
 
     # ------------------------------------------------------------------
     # Derived quantities used by the POMDP

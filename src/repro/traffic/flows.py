@@ -14,7 +14,10 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.services.service import Service
 
 __all__ = ["Flow", "FlowStatus", "FlowSpec"]
 
@@ -75,16 +78,43 @@ class Flow:
     Flow identity: every flow gets a unique integer ``flow_id`` from a
     process-wide counter, so flows are hashable and usable as dict keys in
     the simulator state.
+
+    ``service_obj`` optionally caches the resolved :class:`Service` the
+    flow requests — the simulator passes it at injection so per-decision
+    hot paths skip the catalog lookup — and ``demands`` caches the
+    per-component resource demand ``r_c(λ_f)`` for this flow's (constant)
+    data rate.  Both stay None for hand-built flows; consumers must fall
+    back to the catalog then.
     """
+
+    __slots__ = (
+        "flow_id", "spec", "chain_length", "component_index", "current_node",
+        "status", "finish_time", "drop_reason", "hops", "instances_traversed",
+        "service_obj", "demands",
+    )
 
     _ids = itertools.count()
 
-    def __init__(self, spec: FlowSpec, chain_length: int) -> None:
+    def __init__(
+        self,
+        spec: FlowSpec,
+        chain_length: int,
+        service: Optional["Service"] = None,
+    ) -> None:
         if chain_length < 1:
             raise ValueError("chain_length must be >= 1")
         self.flow_id: int = next(Flow._ids)
         self.spec = spec
         self.chain_length = chain_length
+        #: Resolved service chain (see class docstring); None if not given.
+        self.service_obj: Optional["Service"] = service
+        #: Per-component resource demand for this flow's data rate
+        #: (``r_c(λ_f)`` is pure in λ_f, so it can be computed once).
+        self.demands: Optional[Tuple[float, ...]] = (
+            tuple(c.resources(spec.data_rate) for c in service.components)
+            if service is not None
+            else None
+        )
         #: Index into the service chain of the component the flow requests
         #: next; ``None`` means fully processed (``c_f = ∅``).
         self.component_index: Optional[int] = 0

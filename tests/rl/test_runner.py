@@ -10,11 +10,13 @@ from repro.rl.runner import ParallelRunner
 from tests.rl.toy_envs import ContextualBanditEnv, FixedEpisodeEnv
 
 
-def make_runner(envs, n_steps=4, seed=0):
+def make_runner(envs, n_steps=4, seed=0, **kwargs):
     policy = ActorCriticPolicy(
         envs[0].observation_size, envs[0].num_actions, hidden=(8,), rng=seed
     )
-    return policy, ParallelRunner(envs, policy, n_steps, np.random.default_rng(seed))
+    return policy, ParallelRunner(
+        envs, policy, n_steps, np.random.default_rng(seed), **kwargs
+    )
 
 
 class TestParallelRunner:
@@ -28,7 +30,7 @@ class TestParallelRunner:
 
     def test_episode_records_on_done(self):
         envs = [FixedEpisodeEnv(length=3) for _ in range(2)]
-        policy, runner = make_runner(envs, n_steps=7)
+        policy, runner = make_runner(envs, n_steps=7, info_keys=("last",))
         buf = RolloutBuffer(7, 2, 1)
         runner.collect(buf)
         episodes = runner.drain_episodes()
@@ -38,6 +40,28 @@ class TestParallelRunner:
         assert all(e.total_reward == 3.0 for e in episodes)
         assert all(e.length == 3 for e in episodes)
         assert all(e.info.get("last") is True for e in episodes)
+
+    def test_info_filtered_to_requested_keys(self):
+        # Default info_keys keeps only success_ratio; FixedEpisodeEnv's
+        # terminal info only has "last", so records carry an empty dict.
+        envs = [FixedEpisodeEnv(length=2)]
+        policy, runner = make_runner(envs, n_steps=4)
+        buf = RolloutBuffer(4, 1, 1)
+        runner.collect(buf)
+        episodes = runner.drain_episodes()
+        assert episodes
+        assert all(e.info == {} for e in episodes)
+
+    def test_info_keeps_consumed_fields(self):
+        envs = [ContextualBanditEnv(num_states=3, episode_length=2)]
+        policy, runner = make_runner(envs, n_steps=4)
+        buf = RolloutBuffer(4, 1, 3)
+        runner.collect(buf)
+        episodes = runner.drain_episodes()
+        assert episodes
+        # success_ratio (the field the trainer consumes) survives; nothing
+        # else is materialised.
+        assert all(set(e.info) == {"success_ratio"} for e in episodes)
 
     def test_auto_reset_after_done(self):
         env = FixedEpisodeEnv(length=2)

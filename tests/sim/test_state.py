@@ -139,6 +139,24 @@ class TestInvariants:
         state.check_invariants()
 
     def test_check_detects_corruption(self, state):
-        state._node_load["a"] = 99.0
+        state._node_loads[state.network.node_index["a"]] = 99.0
         with pytest.raises(AssertionError):
             state.check_invariants()
+
+    def test_check_detects_presence_desync(self, state):
+        state.place_instance("a", "c1", 0.0, 0.0)
+        state.instance_presence("c1")[state.network.node_index["b"]] = 1.0
+        with pytest.raises(AssertionError):
+            state.check_invariants()
+
+
+class TestPresence:
+    def test_presence_follows_placements(self, state):
+        assert state.instance_presence("c1") is None
+        state.place_instance("a", "c1", 0.0, 0.0)
+        presence = state.instance_presence("c1")
+        assert presence is not None
+        assert presence[state.network.node_index["a"]] == 1.0
+        assert presence[state.network.node_index["b"]] == 0.0
+        state.remove_instance("a", "c1")
+        assert presence[state.network.node_index["a"]] == 0.0

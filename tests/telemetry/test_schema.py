@@ -49,6 +49,11 @@ EXAMPLES = {
         "workers": 1, "total_seconds": 1.0,
     },
     "phase": {"kind": "phase", "name": "train", "seconds": 2.0},
+    "train_phases": {
+        "kind": "train_phases", "seed": 0, "updates": 30,
+        "wall_seconds": 4.0, "sim_advance": 0.5, "obs_build": 0.2,
+        "policy_forward": 0.6, "optimizer_update": 2.5,
+    },
     "note": {"kind": "note", "message": "hello"},
 }
 
