@@ -74,11 +74,21 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                         help="simulated time span T")
     parser.add_argument("--capacity-seed", type=int, default=0,
                         help="seed of the random capacity assignment")
+    parser.add_argument("--faults", default="off",
+                        choices=["off", "links", "nodes", "churn"],
+                        help="inject a named fault scenario (link failures, "
+                             "node outages, capacity churn) into every run")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the fault schedule (targets and windows)")
 
 
 def _scenario_from_args(args: argparse.Namespace):
-    from repro.eval.scenarios import base_scenario
+    from repro.eval.scenarios import base_scenario, fault_preset
 
+    faults = (
+        None if args.faults == "off"
+        else fault_preset(args.faults, seed=args.fault_seed)
+    )
     return base_scenario(
         pattern=args.pattern,
         num_ingress=args.ingress,
@@ -86,6 +96,7 @@ def _scenario_from_args(args: argparse.Namespace):
         horizon=args.horizon,
         topology=args.topology,
         capacity_seed=args.capacity_seed,
+        faults=faults,
     )
 
 

@@ -94,6 +94,7 @@ class DistributedCoordinator:
         seed: int = 0,
     ) -> None:
         self.network = network
+        self.seed = seed
         self.adapter = ObservationAdapter(network, catalog)
         if policy.obs_dim != self.adapter.size:
             raise ValueError(
@@ -126,6 +127,7 @@ class DistributedCoordinator:
             self.adapter.catalog,
             any_agent.policy,
             deterministic=any_agent.deterministic,
+            seed=self.seed,
         )
 
     def decision_counts(self) -> Dict[str, int]:

@@ -124,6 +124,9 @@ class ObservationAdapter:
             for v in network.node_names
         }
         self._gather = np.empty(2 * self.degree + 1, dtype=np.float64)
+        # Scratch for effective capacities under fault injection; the
+        # fault-free hot path never touches it (static cached caps).
+        self._caps_scratch = np.empty(2 * self.degree + 1, dtype=np.float64)
         # Per-(node, egress) shortest-path-via-neighbor delays, filled
         # lazily on first use: build() then reads one cached tuple instead
         # of doing a dict lookup per neighbor per decision.  Each entry is
@@ -218,6 +221,17 @@ class ObservationAdapter:
         gather = self._gather[: 2 * k + 1]
         state.loads_vector.take(combo_ids, out=gather)
         loads = gather.tolist()
+
+        # Under fault injection the static capacity cache is replaced by
+        # the state's *effective* capacities: a failed neighbor link/node
+        # has capacity 0, so it reads as fully utilised (<= -λ̂ margin)
+        # and agents learn to route around it.  Delay entries stay static
+        # — topology knowledge, not load observation (Sec. IV-B1d).
+        if sim.faults is not None:
+            eff = self._caps_scratch[: 2 * k + 1]
+            state.effective_link_capacities.take(combo_ids[:k], out=eff[:k])
+            state.effective_node_capacities.take(sn_ids, out=eff[k:])
+            caps = tuple(eff.tolist())
 
         spec = flow.spec
         ci = flow.component_index

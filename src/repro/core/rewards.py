@@ -65,6 +65,11 @@ class RewardConfig:
             raise ValueError(
                 "link penalty is too strong relative to the drop penalty"
             )
+        if self.keep_penalty_scale >= 0.5 * abs(self.drop_penalty):
+            raise ValueError(
+                "keep penalty is too strong relative to the drop penalty; "
+                "shaping must stay a weak signal (Sec. IV-B3)"
+            )
 
 
 class RewardFunction:

@@ -17,6 +17,7 @@ carry a timing report quantifying the fan-out's speedup.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from functools import partial
@@ -34,6 +35,7 @@ from repro.baselines.shortest_path import ShortestPathPolicy
 from repro.core.agent import DistributedCoordinator
 from repro.core.env import CoordinationEnvConfig
 from repro.core.trainer import TrainingConfig, train_coordinator
+from repro.faults import FaultScenarioConfig
 from repro.parallel import TimingReport, run_tasks
 from repro.rl.acktr import ACKTRConfig
 from repro.sim.simulator import Simulator
@@ -229,6 +231,7 @@ def evaluate_policy_on_scenario(
     workers: Optional[int] = None,
     timeout: Optional[float] = None,
     recorder: Recorder = NULL_RECORDER,
+    faults: Optional[FaultScenarioConfig] = None,
 ) -> AlgorithmResult:
     """Run one algorithm over several traffic realisations of a scenario.
 
@@ -241,7 +244,16 @@ def evaluate_policy_on_scenario(
     are bit-identical to a serial run either way.  An enabled
     ``recorder`` streams one ``sim_run`` record per seed (merged in seed
     order), fan-out timing, and the final ``eval_aggregate``.
+
+    ``faults`` overrides the scenario's fault configuration for this
+    evaluation only — the fault schedule rides inside the (pickled) sim
+    config, so every seed sees the identical fault sequence.
     """
+    if faults is not None:
+        env_config = dataclasses.replace(
+            env_config,
+            sim_config=dataclasses.replace(env_config.sim_config, faults=faults),
+        )
     labels = [f"{name}/seed {seed}" for seed in eval_seeds]
     task_recorders = (
         [recorder.for_task(label) for label in labels] if recorder.enabled else None

@@ -18,12 +18,13 @@ from the per-episode generator the environment supplies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.env import CoordinationEnvConfig
 from repro.core.rewards import RewardConfig
+from repro.faults import FaultScenarioConfig
 from repro.services import ServiceCatalog, default_catalog
 from repro.sim.config import SimulationConfig
 from repro.topology.network import Network
@@ -42,9 +43,11 @@ from repro.traffic.traces import RateTrace, TraceArrival, synthetic_abilene_trac
 __all__ = [
     "TRAFFIC_PATTERNS",
     "SERVICE_NAME",
+    "FAULT_PRESETS",
     "ScenarioTrafficFactory",
     "build_network",
     "make_traffic_factory",
+    "fault_preset",
     "base_scenario",
 ]
 
@@ -188,6 +191,31 @@ def make_traffic_factory(
     )
 
 
+#: The named fault scenarios for robustness-under-churn comparisons.
+FAULT_PRESETS = ("links", "nodes", "churn")
+
+
+def fault_preset(name: str, seed: int = 0) -> FaultScenarioConfig:
+    """One of the named fault scenarios, parameterised only by seed.
+
+    - ``links``: two link failures (transient connectivity loss),
+    - ``nodes``: one node outage (instance eviction + rerouting),
+    - ``churn``: the combined stress — two link failures, one node
+      outage, and two capacity degradations.
+    """
+    if name == "links":
+        return FaultScenarioConfig(seed=seed, link_failures=2)
+    if name == "nodes":
+        return FaultScenarioConfig(seed=seed, node_outages=1)
+    if name == "churn":
+        return FaultScenarioConfig(
+            seed=seed, link_failures=2, node_outages=1, degradations=2
+        )
+    raise ValueError(
+        f"unknown fault preset {name!r}; choose from {FAULT_PRESETS}"
+    )
+
+
 def base_scenario(
     pattern: str = "poisson",
     num_ingress: int = 2,
@@ -199,6 +227,7 @@ def base_scenario(
     catalog: Optional[ServiceCatalog] = None,
     reward: RewardConfig = RewardConfig(),
     trace: Optional[RateTrace] = None,
+    faults: Optional[Union[str, FaultScenarioConfig]] = None,
 ) -> CoordinationEnvConfig:
     """The paper's base scenario with one variation knob per experiment.
 
@@ -207,10 +236,15 @@ def base_scenario(
     - Fig. 8a: train on one ``pattern``, evaluate on ``pattern="trace"``.
     - Fig. 8b: train with ``num_ingress=2``, evaluate on 1-5.
     - Fig. 9: sweep ``topology`` over Table I.
+    - Robustness extension: pass ``faults`` — a preset name from
+      :data:`FAULT_PRESETS` or a full :class:`FaultScenarioConfig` — to
+      inject link/node failures during evaluation.
 
     ``horizon`` defaults to 2000 time steps — a laptop-scale fraction of
     the paper's 20000 — and can be raised for full-fidelity runs.
     """
+    if isinstance(faults, str):
+        faults = fault_preset(faults)
     network = build_network(
         topology=topology, num_ingress=num_ingress, capacity_seed=capacity_seed
     )
@@ -227,6 +261,6 @@ def base_scenario(
         network=network,
         catalog=catalog,
         traffic_factory=traffic_factory,
-        sim_config=SimulationConfig(horizon=horizon),
+        sim_config=SimulationConfig(horizon=horizon, faults=faults),
         reward=reward,
     )

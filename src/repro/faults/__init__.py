@@ -1,0 +1,40 @@
+"""Deterministic network fault injection (link/node failures under churn).
+
+Public surface:
+
+- :class:`FaultKind`, :class:`FaultSpec`, :class:`FaultSchedule` — the
+  pure data model of *what* fails and *when*,
+- :class:`FaultScenarioConfig` — the seed-driven recipe carried by
+  :class:`repro.sim.config.SimulationConfig`,
+- :class:`FaultInjector` — the runtime that applies a schedule to one
+  simulation (imported lazily: the injector depends on ``repro.sim``,
+  which itself imports this package for the config type).
+"""
+
+from typing import TYPE_CHECKING, Any
+
+from repro.faults.schedule import (
+    FaultKind,
+    FaultScenarioConfig,
+    FaultSchedule,
+    FaultSpec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultSchedule",
+    "FaultScenarioConfig",
+    "FaultInjector",
+]
+
+
+def __getattr__(name: str) -> Any:
+    if name == "FaultInjector":
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -227,10 +227,16 @@ class FederatedAveraging:
 
     def model_divergence(self) -> float:
         """Max L2 distance of any node's actor from the mean actor —
-        0 right after a synchronisation round, growing as nodes drift."""
+        exactly 0 right after a synchronisation round, growing as nodes
+        drift."""
         stacks = [
             np.concatenate([w.ravel() for w in l.policy.actor.parameters])
             for l in self.learners
         ]
+        # Bitwise-identical models (the state synchronize() leaves behind)
+        # must report exactly 0: np.mean of n equal values is not
+        # guaranteed to reproduce them to the last ulp.
+        if all(np.array_equal(stacks[0], s) for s in stacks[1:]):
+            return 0.0
         mean = np.mean(stacks, axis=0)
         return float(max(np.linalg.norm(s - mean) for s in stacks))

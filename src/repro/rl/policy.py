@@ -127,14 +127,28 @@ class ActorCriticPolicy:
         np.savez(Path(path), **arrays)
 
     @classmethod
-    def load(cls, path, hidden: Sequence[int] = (256, 256)) -> "ActorCriticPolicy":
+    def load(cls, path) -> "ActorCriticPolicy":
+        """Restore a policy saved with :meth:`save`.
+
+        The architecture is inferred from the checkpoint itself: each
+        saved ``actor_w{i}`` matrix has shape ``(in + 1, out)``, so the
+        hidden widths are the output dims of all but the last layer.
+        Checkpoints trained with any ``hidden=`` therefore load without
+        the caller having to know (or guess) the layer sizes.
+        """
         data = np.load(Path(path))
         obs_dim, num_actions = (int(x) for x in data["meta"])
+        num_layers = sum(1 for key in data.files if key.startswith("actor_w"))
+        if num_layers < 1:
+            raise ValueError(f"{path}: checkpoint holds no actor weights")
+        hidden = [
+            int(data[f"actor_w{i}"].shape[1]) for i in range(num_layers - 1)
+        ]
         policy = cls(obs_dim, num_actions, hidden=hidden)
         policy.actor.set_parameters(
-            [data[f"actor_w{i}"] for i in range(len(policy.actor.dense_layers))]
+            [data[f"actor_w{i}"] for i in range(num_layers)]
         )
         policy.critic.set_parameters(
-            [data[f"critic_w{i}"] for i in range(len(policy.critic.dense_layers))]
+            [data[f"critic_w{i}"] for i in range(num_layers)]
         )
         return policy

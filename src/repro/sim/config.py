@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.faults import FaultScenarioConfig
+
 __all__ = ["SimulationConfig"]
 
 
@@ -28,6 +30,12 @@ class SimulationConfig:
         metrics_series_cap: Optional bound on the per-flow success-ratio
             time series kept by the metrics collector; long-horizon runs
             stay memory-flat via stride decimation.  None = unbounded.
+        faults: Optional fault scenario (link failures, node outages,
+            capacity degradations) injected into the run; the concrete
+            schedule is derived deterministically from this config, the
+            network, and the horizon.  ``None`` (default) keeps the run
+            entirely fault-free — and bit-identical to builds without the
+            fault subsystem.
     """
 
     horizon: float = 20000.0
@@ -35,6 +43,7 @@ class SimulationConfig:
     drop_active_at_horizon: bool = False
     check_invariants: bool = False
     metrics_series_cap: Optional[int] = None
+    faults: Optional[FaultScenarioConfig] = None
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:

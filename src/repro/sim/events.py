@@ -41,6 +41,8 @@ class EventKind(Enum):
     INSTANCE_TIMEOUT = auto()
     #: A flow's deadline τ_f elapsed; drop it if still active.
     FLOW_EXPIRY = auto()
+    #: A scheduled fault changes state (onset or recovery).
+    FAULT = auto()
 
 
 class Event:
@@ -54,6 +56,7 @@ class Event:
     - RELEASE_NODE / RELEASE_LINK: an allocation record
       (:class:`repro.sim.state.Allocation`)
     - INSTANCE_TIMEOUT: ``(node_name, component_name, due_time)``
+    - FAULT: ``(FaultSpec, is_onset)`` — see :mod:`repro.faults`
 
     ``cancelled`` is a property rather than a plain attribute: flipping it
     while the event sits in an :class:`EventQueue` keeps the queue's live

@@ -28,6 +28,7 @@ class DropReason:
     INVALID_ACTION = "invalid_action"
     DEADLINE_EXPIRED = "deadline_expired"
     HORIZON_REACHED = "horizon_reached"
+    NETWORK_FAILURE = "network_failure"
 
     ALL = (
         NODE_CAPACITY,
@@ -35,6 +36,7 @@ class DropReason:
         INVALID_ACTION,
         DEADLINE_EXPIRED,
         HORIZON_REACHED,
+        NETWORK_FAILURE,
     )
 
 
@@ -75,6 +77,12 @@ class SimulationMetrics:
     decisions: int
     horizon: float
     flows_active: int = 0
+    #: Per-phase success split when the run had a fault schedule: maps
+    #: ``pre_failure`` / ``during_failure`` / ``post_recovery`` to
+    #: ``{"succeeded": ..., "dropped": ..., "ratio": ...}`` counted by each
+    #: flow's finish time relative to the schedule window.  None for
+    #: fault-free runs.
+    phase_success: Optional[Dict[str, Dict[str, float]]] = None
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -106,11 +114,30 @@ class MetricsCollector:
             and the sampling stride doubles, so arbitrarily long
             horizons keep memory flat while the series still spans the
             whole run.  ``None`` (default) records every finished flow.
+        phase_boundaries: ``(first onset, last recovery)`` of the run's
+            fault schedule.  When given, finished flows are additionally
+            tallied into pre-failure / during-failure / post-recovery
+            buckets by finish time, and :meth:`phase_summary` reports the
+            per-phase success split.  ``None`` (default, fault-free runs)
+            disables the split entirely.
     """
 
-    def __init__(self, series_cap: Optional[int] = None) -> None:
+    _PHASES = ("pre_failure", "during_failure", "post_recovery")
+
+    def __init__(
+        self,
+        series_cap: Optional[int] = None,
+        phase_boundaries: Optional[Tuple[float, float]] = None,
+    ) -> None:
         if series_cap is not None and series_cap < 2:
             raise ValueError(f"series_cap must be >= 2, got {series_cap}")
+        if phase_boundaries is not None and phase_boundaries[0] > phase_boundaries[1]:
+            raise ValueError(
+                f"phase boundaries out of order: {phase_boundaries}"
+            )
+        self.phase_boundaries = phase_boundaries
+        self._phase_succeeded: Counter = Counter()
+        self._phase_dropped: Counter = Counter()
         self.flows_generated = 0
         self.flows_succeeded = 0
         self.flows_dropped = 0
@@ -143,12 +170,27 @@ class MetricsCollector:
             )
         self._delays.append(delay)
         self._hops.append(flow.hops)
+        if self.phase_boundaries is not None:
+            self._phase_succeeded[self._phase_of(flow.finish_time)] += 1
         self._sample(flow.finish_time)
 
     def record_drop(self, flow: Flow, reason: str) -> None:
         self.flows_dropped += 1
         self.drop_reasons[reason] += 1
+        if self.phase_boundaries is not None:
+            self._phase_dropped[self._phase_of(flow.finish_time)] += 1
         self._sample(flow.finish_time)
+
+    def _phase_of(self, time: Optional[float]) -> str:
+        """Phase bucket of a finish time relative to the fault window."""
+        if self.phase_boundaries is None:
+            raise InvariantViolation("phase classification without boundaries")
+        onset, recovery = self.phase_boundaries
+        if time is None or time < onset:
+            return "pre_failure"
+        if time < recovery:
+            return "during_failure"
+        return "post_recovery"
 
     def _sample(self, time: Optional[float]) -> None:
         finished = self.flows_succeeded + self.flows_dropped
@@ -204,6 +246,26 @@ class MetricsCollector:
             "max": ordered[-1],
         }
 
+    def phase_summary(self) -> Optional[Dict[str, Dict[str, float]]]:
+        """Per-phase success split, or None without phase boundaries.
+
+        Each phase maps to succeeded/dropped counts and the success ratio
+        over flows that finished in that phase (0.0 when none did).
+        """
+        if self.phase_boundaries is None:
+            return None
+        summary: Dict[str, Dict[str, float]] = {}
+        for phase in self._PHASES:
+            succeeded = self._phase_succeeded[phase]
+            dropped = self._phase_dropped[phase]
+            finished = succeeded + dropped
+            summary[phase] = {
+                "succeeded": float(succeeded),
+                "dropped": float(dropped),
+                "ratio": succeeded / finished if finished else 0.0,
+            }
+        return summary
+
     def finalize(self, horizon: float) -> SimulationMetrics:
         """Freeze the collected counters into a :class:`SimulationMetrics`."""
         return SimulationMetrics(
@@ -219,4 +281,5 @@ class MetricsCollector:
             decisions=self.decisions,
             horizon=horizon,
             flows_active=self.flows_active,
+            phase_success=self.phase_summary(),
         )

@@ -38,6 +38,8 @@ from enum import Enum, auto
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.analysis.invariants import InvariantViolation, check, invariants_enabled
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultKind, FaultSpec
 from repro.services.service import ServiceCatalog
 from repro.sim.config import SimulationConfig
 from repro.sim.events import Event, EventKind, EventQueue
@@ -138,10 +140,27 @@ class Simulator:
         self.catalog = catalog
         self.config = config
         self.state = NetworkState(network)
-        self.metrics = MetricsCollector(series_cap=config.metrics_series_cap)
+
+        #: Fault injector, or None for fault-free runs.  The None path
+        #: adds zero events and zero state copies, keeping fault-free
+        #: runs bit-identical to builds without the fault subsystem.
+        self.faults: Optional[FaultInjector] = None
+        if config.faults is not None and not config.faults.empty:
+            schedule = config.faults.build_schedule(network, config.horizon)
+            if schedule:
+                self.faults = FaultInjector(network, self.state, schedule)
+
+        self.metrics = MetricsCollector(
+            series_cap=config.metrics_series_cap,
+            phase_boundaries=(
+                self.faults.phase_boundaries if self.faults is not None else None
+            ),
+        )
         self.now: float = 0.0
 
         self._queue = EventQueue()
+        if self.faults is not None:
+            self.faults.schedule_into(self._queue)
         self._traffic: Iterator[FlowSpec] = iter(traffic)
         self._pending: Optional[DecisionPoint] = None
         self._outcomes: List[Outcome] = []
@@ -149,6 +168,11 @@ class Simulator:
         self._residences: Dict[int, _Residence] = {}
         self._expiry_events: Dict[int, Event] = {}
         self._active_flows: Dict[int, Flow] = {}
+        # Tail-leave sentinels still in flight for instances that a node
+        # outage force-evicted: each pending sentinel for (node, component)
+        # is swallowed instead of decrementing a (possibly re-placed)
+        # instance's busy count.
+        self._evicted_tail_debt: Dict[tuple, int] = {}
         self._last_injection_time = 0.0
         self._finalized = False
         #: Sanitizer mode: run the full invariant sweep after every event.
@@ -279,6 +303,12 @@ class Simulator:
             delay = self.metrics.delay_summary()
             if delay is not None:
                 fields["delay"] = delay
+            if self.faults is not None:
+                for entry in self.faults.log:
+                    recorder.emit("fault_event", **entry)
+                phases = self.metrics.phase_summary()
+                if phases is not None:
+                    fields["fault_phases"] = phases
             recorder.emit("sim_run", **fields)
         return metrics
 
@@ -354,6 +384,8 @@ class Simulator:
             flow = event.payload
             if flow.status is FlowStatus.ACTIVE:
                 self._drop(flow, DropReason.DEADLINE_EXPIRED)
+        elif kind is EventKind.FAULT:
+            self._apply_fault(*event.payload)
         else:  # pragma: no cover - taxonomy is closed
             raise ValueError(f"unhandled event kind {kind}")
 
@@ -388,6 +420,11 @@ class Simulator:
         self._expiry_events[flow.flow_id] = self._queue.push(
             Event(spec.arrival_time + spec.deadline, EventKind.FLOW_EXPIRY, flow)
         )
+        if self.faults is not None and self.faults.node_is_failed(spec.ingress):
+            # Injection at a dead ingress: the flow is generated (it
+            # counts against the objective) but immediately lost.
+            self._drop(flow, DropReason.NETWORK_FAILURE)
+            return
         self._flow_at_node(flow)
 
     def _flow_at_node(self, flow: Flow) -> None:
@@ -443,6 +480,9 @@ class Simulator:
         )
 
     def _process_locally(self, flow: Flow, node: str) -> None:
+        if self.faults is not None and self.faults.node_is_failed(node):
+            self._drop(flow, DropReason.NETWORK_FAILURE)
+            return
         service = flow.service_obj
         if service is None:
             service = self.catalog.service(flow.service)
@@ -528,6 +568,9 @@ class Simulator:
         neighbor = network.neighbor_names(node)[neighbor_index]
         link_delay = network.neighbor_link_delays(node)[neighbor_index]
         link_id = network.neighbor_link_id_tuple(node)[neighbor_index]
+        if self.faults is not None and self.faults.link_is_failed(link_id):
+            self._drop(flow, DropReason.NETWORK_FAILURE)
+            return
         try:
             allocation = self.state.allocate_link_id(
                 link_id, flow.data_rate, flow.flow_id
@@ -561,7 +604,100 @@ class Simulator:
             )
         flow.hops += 1
         flow.current_node = node
+        if self.faults is not None and self.faults.node_is_failed(node):
+            # The head arrives at a node that is down: the flow is lost.
+            self._drop(flow, DropReason.NETWORK_FAILURE)
+            return
         self._flow_at_node(flow)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def _apply_fault(self, spec: FaultSpec, onset: bool) -> None:
+        faults = self.faults
+        if faults is None:  # pragma: no cover - FAULT events imply an injector
+            raise InvariantViolation(
+                "FAULT event dispatched without a fault injector",
+                spec=repr(spec),
+            )
+        faults.apply(spec, onset)
+        flows_dropped = 0
+        instances_evicted = 0
+        if onset and spec.kind is FaultKind.LINK_FAILURE:
+            flows_dropped = self._drop_flows_on_link(
+                self.network.link_index[spec.target]  # type: ignore[index]
+            )
+        elif onset and spec.kind is FaultKind.NODE_OUTAGE:
+            node = spec.target
+            if not isinstance(node, str):  # pragma: no cover - FaultSpec validates
+                raise InvariantViolation(
+                    "node outage with a non-node target", target=repr(node)
+                )
+            flows_dropped = self._drop_flows_at_node(node)
+            instances_evicted = self._evict_instances_at(node)
+        faults.record(self.now, spec, onset, flows_dropped, instances_evicted)
+
+    def _drop_flows_on_link(self, link_id: int) -> int:
+        """Drop every active flow still holding rate on a failed link.
+
+        The fluid model spreads a flow head-to-tail over the link for the
+        whole ``d_l + δ_f`` window, so a failure mid-window severs it.
+        Flow ids are visited in sorted order for determinism.
+        """
+        dropped = 0
+        for flow_id in sorted(self._allocations):
+            flow = self._active_flows.get(flow_id)
+            if flow is None or flow.status is not FlowStatus.ACTIVE:
+                continue
+            if any(
+                a.kind == "link" and not a.released and a.index == link_id
+                for a in self._allocations.get(flow_id, ())
+            ):
+                self._drop(flow, DropReason.NETWORK_FAILURE)
+                dropped += 1
+        return dropped
+
+    def _drop_flows_at_node(self, node: str) -> int:
+        """Drop every active flow whose head, residence, or compute hold
+        is at a node that just went down."""
+        node_id = self.network.node_index[node]
+        dropped = 0
+        for flow_id in sorted(self._active_flows):
+            flow = self._active_flows.get(flow_id)
+            if flow is None or flow.status is not FlowStatus.ACTIVE:
+                continue
+            residence = self._residences.get(flow_id)
+            if (
+                flow.current_node == node
+                or (residence is not None and residence.node == node)
+                or any(
+                    a.kind == "node" and not a.released and a.index == node_id
+                    for a in self._allocations.get(flow_id, ())
+                )
+            ):
+                self._drop(flow, DropReason.NETWORK_FAILURE)
+                dropped += 1
+        return dropped
+
+    def _evict_instances_at(self, node: str) -> int:
+        """Force-remove all instances placed at a dead node.
+
+        An evicted instance may still have tail-leave sentinels in flight
+        (flows whose processing finished but whose tail had not left);
+        those are recorded as debt so they don't corrupt the busy count
+        of an instance re-placed after recovery.
+        """
+        evicted = 0
+        for inst in sorted(self.state.instances_at(node), key=lambda i: i.component):
+            busy = self.state.remove_instance(node, inst.component, force=True)
+            if busy > 0:
+                key = (node, inst.component)
+                self._evicted_tail_debt[key] = (
+                    self._evicted_tail_debt.get(key, 0) + busy
+                )
+            evicted += 1
+        return evicted
 
     # ------------------------------------------------------------------
     # Instance lifecycle (scale-in)
@@ -570,6 +706,17 @@ class Simulator:
     def _instance_timeout(self, node: str, component: str, due: float) -> None:
         if due < 0:
             # Sentinel: a flow's tail just left the instance.
+            if self._evicted_tail_debt:
+                debt = self._evicted_tail_debt.get((node, component), 0)
+                if debt > 0:
+                    # The instance this sentinel was armed for got evicted
+                    # by a node outage; swallow it so it cannot decrement
+                    # a re-placed instance's busy count.
+                    if debt == 1:
+                        del self._evicted_tail_debt[(node, component)]
+                    else:
+                        self._evicted_tail_debt[(node, component)] = debt - 1
+                    return
             self.state.instance_end_flow(node, component, self.now)
             self._maybe_schedule_instance_timeout(node, component)
             return

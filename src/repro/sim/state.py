@@ -89,8 +89,16 @@ class NetworkState:
         self.network = network
         self._node_index = network.node_index
         self._link_index = network.link_index
-        self._node_caps = network.node_capacities
-        self._link_caps = network.link_capacities
+        # Effective capacities start out *aliasing* the network's static
+        # arrays; :meth:`enable_capacity_overrides` swaps in private
+        # copies so fault injection can mask entries without touching the
+        # shared topology.  Invariant checks always compare against the
+        # base arrays: a degradation may legitimately strand load above
+        # the (reduced) effective capacity, never above the base one.
+        self._base_node_caps = network.node_capacities
+        self._base_link_caps = network.link_capacities
+        self._node_caps = self._base_node_caps
+        self._link_caps = self._base_link_caps
         # One backing buffer for all loads — links first, then nodes — so
         # the observation adapter can gather a whole neighborhood (links +
         # self-and-neighbor nodes) with a single fancy index into
@@ -108,6 +116,49 @@ class NetworkState:
         # the first placement of each component.  The observation adapter
         # reads X_v as one gather from these.
         self._presence: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Effective-capacity overrides (fault injection)
+    # ------------------------------------------------------------------
+
+    def enable_capacity_overrides(self) -> None:
+        """Switch to private, writable capacity arrays.  Idempotent.
+
+        Fault-free runs never call this, so their capacity arrays stay
+        the network's own (zero copies, bit-identical behaviour).
+        """
+        if self._node_caps is self._base_node_caps:
+            self._node_caps = self._base_node_caps.copy()
+        if self._link_caps is self._base_link_caps:
+            self._link_caps = self._base_link_caps.copy()
+
+    def set_node_capacity_id(self, node_id: int, capacity: float) -> None:
+        """Set the effective capacity of one node (requires overrides)."""
+        if self._node_caps is self._base_node_caps:
+            raise InvariantViolation(
+                "capacity override before enable_capacity_overrides()",
+                node_id=node_id,
+            )
+        self._node_caps[node_id] = capacity
+
+    def set_link_capacity_id(self, link_id: int, capacity: float) -> None:
+        """Set the effective capacity of one link (requires overrides)."""
+        if self._link_caps is self._base_link_caps:
+            raise InvariantViolation(
+                "capacity override before enable_capacity_overrides()",
+                link_id=link_id,
+            )
+        self._link_caps[link_id] = capacity
+
+    @property
+    def effective_node_capacities(self) -> np.ndarray:
+        """Node capacities as currently seen by admission (read-only)."""
+        return self._node_caps
+
+    @property
+    def effective_link_capacities(self) -> np.ndarray:
+        """Link capacities as currently seen by admission (read-only)."""
+        return self._link_caps
 
     # ------------------------------------------------------------------
     # Load queries
@@ -295,18 +346,25 @@ class NetworkState:
         presence[self._node_index[node]] = 1.0
         return inst
 
-    def remove_instance(self, node: str, component: str) -> None:
-        """Remove an instance (scale-in); it must exist and be idle."""
+    def remove_instance(self, node: str, component: str, force: bool = False) -> int:
+        """Remove an instance; returns its busy count at removal.
+
+        Scale-in removal (``force=False``, the default) requires the
+        instance to be idle.  ``force=True`` evicts a busy instance — the
+        node-outage path — and the returned busy count tells the caller
+        how many tail-leave sentinels are still in flight for it.
+        """
         inst = self._instances.get((node, component))
         if inst is None:
             raise KeyError(f"no instance of {component!r} at {node!r}")
-        if inst.busy_flows > 0:
+        if inst.busy_flows > 0 and not force:
             raise ValueError(
                 f"cannot remove busy instance of {component!r} at {node!r} "
                 f"({inst.busy_flows} flows resident)"
             )
         del self._instances[(node, component)]
         self._presence[component][self._node_index[node]] = 0.0
+        return inst.busy_flows
 
     def instance_begin_flow(self, node: str, component: str) -> None:
         """Mark one more flow resident in the instance (it is now busy)."""
@@ -352,19 +410,24 @@ class NetworkState:
                 an instance has a negative busy count, or a presence
                 vector disagrees with the instance table.
         """
+        # Bounds are checked against the *base* capacities: a fault may
+        # shrink the effective capacity below load already admitted (that
+        # load drains naturally), but load above the physical capacity is
+        # always a bug.
         node_loads, link_loads = self._node_loads, self._link_loads
-        if np.any(node_loads < -1e-9) or np.any(node_loads > self._node_caps + 1e-6):
+        node_caps, link_caps = self._base_node_caps, self._base_link_caps
+        if np.any(node_loads < -1e-9) or np.any(node_loads > node_caps + 1e-6):
             for node, i in self._node_index.items():
-                check(-1e-9 <= node_loads[i] <= self._node_caps[i] + 1e-6,
+                check(-1e-9 <= node_loads[i] <= node_caps[i] + 1e-6,
                       "node load outside capacity bounds",
                       node=node, load=float(node_loads[i]),
-                      capacity=float(self._node_caps[i]))
-        if np.any(link_loads < -1e-9) or np.any(link_loads > self._link_caps + 1e-6):
+                      capacity=float(node_caps[i]))
+        if np.any(link_loads < -1e-9) or np.any(link_loads > link_caps + 1e-6):
             for key, i in self._link_index.items():
-                check(-1e-9 <= link_loads[i] <= self._link_caps[i] + 1e-6,
+                check(-1e-9 <= link_loads[i] <= link_caps[i] + 1e-6,
                       "link load outside capacity bounds",
                       link=key, load=float(link_loads[i]),
-                      capacity=float(self._link_caps[i]))
+                      capacity=float(link_caps[i]))
         for (node, comp), inst in self._instances.items():
             check(inst.busy_flows >= 0, "negative instance busy count",
                   node=node, component=comp, busy_flows=inst.busy_flows)

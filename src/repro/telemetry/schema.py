@@ -30,7 +30,16 @@ Record kinds
     ``flows_succeeded``, ``flows_dropped``, ``flows_active``),
     ``success_ratio``, ``drop_reasons`` (reason -> count),
     ``decisions``, ``horizon``; optionally ``delay`` (histogram summary
-    dict), ``seed``, ``label``, ``wall_seconds``.
+    dict), ``fault_phases`` (per-phase success split of a fault-injected
+    run: pre_failure / during_failure / post_recovery, each with
+    succeeded/dropped/ratio), ``seed``, ``label``, ``wall_seconds``.
+
+``fault_event``
+    One applied fault transition of a fault-injected simulation:
+    ``time``, ``fault`` (link_failure / node_outage /
+    capacity_degradation), ``phase`` (onset / recovery), ``target``
+    (node name or ``u-v`` link label), ``flows_dropped``,
+    ``instances_evicted``.
 
 ``eval_aggregate``
     Cross-seed aggregation of one algorithm's evaluation: ``name``,
@@ -150,6 +159,14 @@ RECORD_SCHEMAS: Dict[str, Dict[str, Any]] = {
         "drop_reasons": Mapping,
         "decisions": _INT,
         "horizon": _NUM,
+    },
+    "fault_event": {
+        "time": _NUM,
+        "fault": str,
+        "phase": str,
+        "target": str,
+        "flows_dropped": _INT,
+        "instances_evicted": _INT,
     },
     "eval_aggregate": {
         "name": str,

@@ -83,6 +83,35 @@ class TestDistributedCoordinator:
         copied = next(iter(fresh.agents.values())).policy
         assert np.allclose(original.actor.forward(obs), copied.actor.forward(obs))
 
+    def test_fresh_preserves_seed_for_stochastic_agents(self):
+        """Regression: fresh() used to rebuild with the default seed=0, so
+        a stochastic coordinator changed every per-agent rng stream."""
+        net, catalog, adapter, policy = setup()
+        coordinator = DistributedCoordinator(
+            net, catalog, policy, deterministic=False, seed=7
+        )
+        fresh = coordinator.fresh()
+        assert fresh.seed == 7
+        rng = np.random.default_rng(11)
+        obs = rng.normal(size=(20, adapter.size))
+        for node in net.node_names:
+            original = coordinator.agents[node]
+            rebuilt = fresh.agents[node]
+            assert not rebuilt.deterministic
+            actions_a = [
+                original.policy.act_single(
+                    o, rng=original.rng, deterministic=False
+                )
+                for o in obs
+            ]
+            actions_b = [
+                rebuilt.policy.act_single(
+                    o, rng=rebuilt.rng, deterministic=False
+                )
+                for o in obs
+            ]
+            assert actions_a == actions_b
+
     def test_deterministic_agents_repeatable(self):
         net, catalog, adapter, policy = setup()
         a = DistributedCoordinator(net, catalog, policy, deterministic=True)

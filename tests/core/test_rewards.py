@@ -80,10 +80,21 @@ class TestShapingGuard:
         with pytest.raises(ValueError, match="link penalty"):
             RewardFunction(line_network(4), RewardConfig(link_penalty_scale=6.0))
 
+    def test_too_strong_keep_penalty_rejected(self):
+        with pytest.raises(ValueError, match="keep penalty"):
+            RewardFunction(line_network(4), RewardConfig(keep_penalty_scale=6.0))
+
+    def test_keep_penalty_below_guard_accepted(self):
+        RewardFunction(line_network(4), RewardConfig(keep_penalty_scale=4.9))
+
     def test_guard_skipped_when_shaping_off(self):
         RewardFunction(
             line_network(4),
-            RewardConfig(enable_shaping=False, instance_bonus_scale=100.0),
+            RewardConfig(
+                enable_shaping=False,
+                instance_bonus_scale=100.0,
+                keep_penalty_scale=100.0,
+            ),
         )
 
     def test_custom_scales_applied(self):

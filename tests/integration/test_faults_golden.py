@@ -1,0 +1,240 @@
+"""Golden-snapshot determinism test for fault injection.
+
+Pins the exact per-seed outcome of the base Abilene scenario under the
+shortest-path baseline *with a fixed, hand-written fault schedule* — flow
+counters, drop reasons, bit-exact floats (compared via ``repr``), the
+per-phase success split, and digests of the ``fault_event`` stream and
+the ``sim_run`` telemetry record.  Any change to fault event ordering,
+eviction semantics, capacity masking, or the phase bucketing shows up
+here as a diff, not as a silent drift.
+
+The schedule uses explicit :class:`FaultSpec`s (no random draw), so this
+snapshot pins only the injector and simulator — not the schedule
+generator, which has its own unit tests.  If an *intentional* semantic
+change lands, regenerate with::
+
+    PYTHONPATH=src python tests/integration/test_faults_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List
+
+import numpy as np
+import pytest
+
+from repro.baselines.shortest_path import ShortestPathPolicy
+from repro.eval.scenarios import base_scenario
+from repro.faults import FaultKind, FaultScenarioConfig, FaultSpec
+from repro.sim.simulator import Simulator
+from repro.telemetry.recorder import Recorder
+
+HORIZON = 500.0
+
+#: A churn window in the middle of the run: a backbone link dies, a core
+#: node goes down inside that window, and a node degradation overlaps the
+#: tail — exercising drops, eviction, masking, and factor composition.
+FAULTS = FaultScenarioConfig(
+    specs=(
+        FaultSpec(FaultKind.LINK_FAILURE, ("v10", "v7"), 150.0, 120.0),
+        FaultSpec(FaultKind.NODE_OUTAGE, "v6", 200.0, 60.0),
+        FaultSpec(
+            FaultKind.CAPACITY_DEGRADATION, "v3", 240.0, 100.0, factor=0.5
+        ),
+    )
+)
+
+#: Captured goldens: one entry per traffic seed.  Floats are pinned as
+#: ``repr`` strings so the comparison is bit-exact, not approximate.
+GOLDEN: Dict[int, Dict[str, Any]] = {
+    0: {
+        "flows_generated": 102,
+        "flows_succeeded": 24,
+        "flows_dropped": 71,
+        "flows_active": 7,
+        "drop_reasons": {
+            "link_capacity": 26,
+            "network_failure": 13,
+            "node_capacity": 32,
+        },
+        "success_ratio": "0.25263157894736843",
+        "avg_end_to_end_delay": "20.727404796518215",
+        "decisions": 479,
+        "fault_events": 6,
+        "phase_success": {
+            "pre_failure": {
+                "succeeded": "10.0",
+                "dropped": "19.0",
+                "ratio": "0.3448275862068966",
+            },
+            "during_failure": {
+                "succeeded": "5.0",
+                "dropped": "34.0",
+                "ratio": "0.1282051282051282",
+            },
+            "post_recovery": {
+                "succeeded": "9.0",
+                "dropped": "18.0",
+                "ratio": "0.3333333333333333",
+            },
+        },
+        "faults_digest": "6494b6a42f8e19ca528d837210bb2b72a9072c9ff2110167e230d8803a68bad2",
+        "telemetry_digest": "555bed575168440837a8996fd0738b89b50126007284f6ad57193e045006ac6c",
+    },
+    1: {
+        "flows_generated": 93,
+        "flows_succeeded": 34,
+        "flows_dropped": 56,
+        "flows_active": 3,
+        "drop_reasons": {
+            "link_capacity": 20,
+            "network_failure": 9,
+            "node_capacity": 27,
+        },
+        "success_ratio": "0.37777777777777777",
+        "avg_end_to_end_delay": "20.74741247418312",
+        "decisions": 492,
+        "fault_events": 6,
+        "phase_success": {
+            "pre_failure": {
+                "succeeded": "15.0",
+                "dropped": "17.0",
+                "ratio": "0.46875",
+            },
+            "during_failure": {
+                "succeeded": "5.0",
+                "dropped": "22.0",
+                "ratio": "0.18518518518518517",
+            },
+            "post_recovery": {
+                "succeeded": "14.0",
+                "dropped": "17.0",
+                "ratio": "0.45161290322580644",
+            },
+        },
+        "faults_digest": "4aefb161a67a7149d9221ae7b95d76084d62293ec23d4e77f0665d80ee779d17",
+        "telemetry_digest": "fb0bbf98b9de1d2c563ba0835e987a516c60f7f935c56819b3f89bfa212290e0",
+    },
+    2: {
+        "flows_generated": 99,
+        "flows_succeeded": 36,
+        "flows_dropped": 59,
+        "flows_active": 4,
+        "drop_reasons": {
+            "link_capacity": 17,
+            "network_failure": 5,
+            "node_capacity": 37,
+        },
+        "success_ratio": "0.37894736842105264",
+        "avg_end_to_end_delay": "20.711208105075187",
+        "decisions": 535,
+        "fault_events": 6,
+        "phase_success": {
+            "pre_failure": {
+                "succeeded": "11.0",
+                "dropped": "15.0",
+                "ratio": "0.4230769230769231",
+            },
+            "during_failure": {
+                "succeeded": "11.0",
+                "dropped": "28.0",
+                "ratio": "0.28205128205128205",
+            },
+            "post_recovery": {
+                "succeeded": "14.0",
+                "dropped": "16.0",
+                "ratio": "0.4666666666666667",
+            },
+        },
+        "faults_digest": "5c12bd1ae0d7ea2f11ba2349ba5fd5b7f414f9127272a10411cc03ef63450603",
+        "telemetry_digest": "5207175385fce4b5a2581342dcfd785d47020543344b52e936d621dd75089df4",
+    },
+}
+
+
+class _CaptureRecorder(Recorder):
+    """In-memory recorder so the test can digest the telemetry stream."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        self.records.append({"kind": kind, **fields})
+
+
+def snapshot(seed: int) -> Dict[str, Any]:
+    """Run the faulted base scenario with one traffic seed and summarise.
+
+    ``wall_seconds`` is stripped from the ``sim_run`` record before
+    hashing (the only nondeterministic field); everything else must
+    reproduce.  Flow ids are deliberately excluded: they come from a
+    process-global counter and depend on what ran earlier in the session.
+    """
+    scenario = base_scenario(
+        pattern="poisson", num_ingress=2, horizon=HORIZON, faults=FAULTS
+    )
+    rng = np.random.default_rng(seed)
+    sim = Simulator(
+        scenario.network,
+        scenario.catalog,
+        scenario.traffic_factory(rng),
+        scenario.sim_config,
+    )
+    recorder = _CaptureRecorder()
+    policy = ShortestPathPolicy(scenario.network, scenario.catalog)
+    metrics = sim.run(policy, recorder=recorder)
+
+    [run_record] = [r for r in recorder.records if r["kind"] == "sim_run"]
+    run_record = {k: v for k, v in run_record.items() if k != "wall_seconds"}
+    telemetry_digest = hashlib.sha256(
+        json.dumps(run_record, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    fault_events = [r for r in recorder.records if r["kind"] == "fault_event"]
+    faults_digest = hashlib.sha256(
+        json.dumps(fault_events, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    phases = {
+        phase: {key: repr(value) for key, value in split.items()}
+        for phase, split in metrics.phase_success.items()
+    }
+    return {
+        "flows_generated": metrics.flows_generated,
+        "flows_succeeded": metrics.flows_succeeded,
+        "flows_dropped": metrics.flows_dropped,
+        "flows_active": metrics.flows_active,
+        "drop_reasons": dict(sorted(metrics.drop_reasons.items())),
+        "success_ratio": repr(metrics.success_ratio),
+        "avg_end_to_end_delay": repr(metrics.avg_end_to_end_delay),
+        "decisions": metrics.decisions,
+        "fault_events": len(fault_events),
+        "phase_success": phases,
+        "faults_digest": faults_digest,
+        "telemetry_digest": telemetry_digest,
+    }
+
+
+@pytest.mark.parametrize("seed", sorted(GOLDEN))
+def test_faults_golden_snapshot(seed: int) -> None:
+    assert snapshot(seed) == GOLDEN[seed]
+
+
+def test_snapshot_is_reproducible_within_process() -> None:
+    """Two back-to-back faulted runs of the same seed agree exactly."""
+    assert snapshot(0) == snapshot(0)
+
+
+def test_network_failures_are_attributed() -> None:
+    """The fixed schedule actually bites: hard-fault drops are recorded
+    under ``network_failure`` and every schedule event fired."""
+    snap = snapshot(0)
+    assert snap["fault_events"] == 6
+    assert snap["drop_reasons"].get("network_failure", 0) > 0
+
+
+if __name__ == "__main__":
+    # Regeneration helper for intentional semantic changes.
+    print(json.dumps({seed: snapshot(seed) for seed in (0, 1, 2)}, indent=2))

@@ -143,6 +143,49 @@ class TestFederatedAveraging:
         correct = sum(shared.act_single(np.eye(3)[s]) == s for s in range(3))
         assert correct >= 2
 
+    def test_idle_node_does_not_dilute_active_average(self):
+        """With two equally active nodes and one idle one, the averaged
+        model is the plain mean of the two active models — the idle node's
+        (divergent) weights contribute nothing."""
+        learners, fed = self.make_fleet(n=3, batch_size=2)
+        rng = np.random.default_rng(0)
+        for _ in range(4):  # 2 updates each on v0 and v1; v2 stays idle
+            bandit_transition(rng, learners[0])
+            bandit_transition(rng, learners[1])
+        expected = [
+            0.5 * (a + b)
+            for a, b in zip(
+                learners[0].policy.actor.parameters,
+                learners[1].policy.actor.parameters,
+            )
+        ]
+        weights = fed.synchronize()
+        assert weights == pytest.approx({"v0": 0.5, "v1": 0.5, "v2": 0.0})
+        for got, want in zip(learners[2].policy.actor.parameters, expected):
+            assert np.allclose(got, want)
+
+    def test_should_sync_uses_mean_over_all_nodes(self):
+        """should_sync compares the *mean* per-node update count against
+        the interval — idle nodes pull the mean down."""
+        learners, fed = self.make_fleet(n=2, batch_size=2)
+        rng = np.random.default_rng(0)
+        for _ in range(4):  # 2 updates on v0, 0 on v1 -> mean = 1
+            bandit_transition(rng, learners[0])
+        assert not fed.should_sync(interval_updates=2)
+        for _ in range(4):  # 4 updates on v0, 0 on v1 -> mean = 2
+            bandit_transition(rng, learners[0])
+        assert fed.should_sync(interval_updates=2)
+
+    def test_divergence_is_zero_immediately_after_sync(self):
+        learners, fed = self.make_fleet(n=3, batch_size=2)
+        rng = np.random.default_rng(2)
+        for learner in learners:
+            for _ in range(4):
+                bandit_transition(rng, learner)
+        assert fed.model_divergence() > 0.0
+        fed.synchronize()
+        assert fed.model_divergence() == 0.0
+
     def test_empty_fleet_rejected(self):
         with pytest.raises(ValueError):
             FederatedAveraging([])

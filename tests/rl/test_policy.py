@@ -51,12 +51,27 @@ class TestActorCriticPolicy:
         policy = ActorCriticPolicy(5, 3, hidden=(8, 8), rng=0)
         path = tmp_path / "policy.npz"
         policy.save(path)
-        loaded = ActorCriticPolicy.load(path, hidden=(8, 8))
+        loaded = ActorCriticPolicy.load(path)
         assert loaded.obs_dim == 5
         assert loaded.num_actions == 3
         obs = np.random.default_rng(1).normal(size=(4, 5))
         assert np.allclose(policy.actor.forward(obs), loaded.actor.forward(obs))
         assert np.allclose(policy.values(obs), loaded.values(obs))
+
+    @pytest.mark.parametrize("hidden", [(16,), (16, 8), (4, 4, 4)])
+    def test_load_infers_architecture(self, tmp_path, hidden):
+        """Checkpoints of any architecture load without the caller passing
+        layer sizes — the widths are read from the saved array shapes."""
+        policy = ActorCriticPolicy(6, 4, hidden=hidden, rng=3)
+        path = tmp_path / "policy.npz"
+        policy.save(path)
+        loaded = ActorCriticPolicy.load(path)
+        assert [d.weight.shape for d in loaded.actor.dense_layers] == [
+            d.weight.shape for d in policy.actor.dense_layers
+        ]
+        obs = np.random.default_rng(1).normal(size=(4, 6))
+        assert np.array_equal(policy.actor.forward(obs), loaded.actor.forward(obs))
+        assert np.array_equal(policy.values(obs), loaded.values(obs))
 
     def test_invalid_action_count(self):
         with pytest.raises(ValueError):

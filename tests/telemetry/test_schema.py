@@ -33,6 +33,11 @@ EXAMPLES = {
         "drop_reasons": {"link_capacity": 3}, "decisions": 40,
         "horizon": 200.0,
     },
+    "fault_event": {
+        "kind": "fault_event", "time": 500.0, "fault": "link_failure",
+        "phase": "onset", "target": "v2-v3", "flows_dropped": 2,
+        "instances_evicted": 0,
+    },
     "eval_aggregate": {
         "kind": "eval_aggregate", "name": "SP", "seeds": 3,
         "mean_success": 0.4, "mean_delay": 20.0, "delay_seeds_excluded": 0,
