@@ -220,6 +220,15 @@ def render(report: dict) -> str:
         f"{entry['name']}={entry['seconds']:.2f}s"
         for entry in phases["phases"]
     )
+    lines_opt = []
+    if phases.get("optimizer_subphases"):
+        # Busy seconds per update thread — under concurrent actor/critic
+        # updates their sum may exceed the optimizer_update wall time.
+        sub_line = "  ".join(
+            f"{entry['name']}={entry['seconds']:.2f}s"
+            for entry in phases["optimizer_subphases"]
+        )
+        lines_opt.append(f"  optimizer busy  : {sub_line}")
     return "\n".join(
         [
             f"Training throughput ({report['scenario']}, scale={report['scale']})",
@@ -229,6 +238,7 @@ def render(report: dict) -> str:
                 f" {training['updates']} updates)"
             ),
             f"  phases          : {phase_line}",
+            *lines_opt,
             f"  env.step (no NN): {report['env_steps_per_second']:>10.0f} steps/sec",
             (
                 f"  raw simulator   : {report['sim']['flows_per_second']:>10.0f}"

@@ -40,6 +40,18 @@ def _add_eval_batch_arg(parser: argparse.ArgumentParser) -> None:
                              "(default: $REPRO_EVAL_BATCH, else serial)")
 
 
+def _add_optimizer_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kfac-threads", type=int, default=None,
+                        help="ACKTR actor/critic update concurrency; 1 = "
+                             "serial, 2 = overlapped (bit-identical results "
+                             "either way; default: $REPRO_KFAC_THREADS, else 2)")
+    parser.add_argument("--stat-interval", type=int, default=1,
+                        help="refresh ACKTR's Kronecker-factor statistics "
+                             "every N updates (1 = every update, the exact "
+                             "historical behaviour; larger amortizes the "
+                             "Fisher pass and changes the rng stream)")
+
+
 def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--telemetry", metavar="DIR", default=None,
                         help="write a run manifest + structured JSONL metric "
@@ -127,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--quiet", action="store_true")
     _add_workers_arg(train)
     _add_eval_batch_arg(train)
+    _add_optimizer_args(train)
     _add_telemetry_arg(train)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a policy on a scenario")
@@ -147,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--eval-seeds", type=int, default=3)
     _add_workers_arg(compare)
     _add_eval_batch_arg(compare)
+    _add_optimizer_args(compare)
     _add_telemetry_arg(compare)
 
     lint = sub.add_parser(
@@ -210,6 +224,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         eval_episodes=args.eval_episodes,
         workers=args.workers,
         eval_batch=args.eval_batch,
+        kfac_threads=args.kfac_threads,
+        stat_interval=args.stat_interval,
     )
     if not args.quiet:
         print(f"Training on {args.topology} / {args.pattern} / "
@@ -296,6 +312,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             n_steps=64,
             workers=args.workers,
             eval_batch=args.eval_batch,
+            kfac_threads=args.kfac_threads,
+            stat_interval=args.stat_interval,
         ),
     )
     eval_seeds = range(1000, 1000 + args.eval_seeds)

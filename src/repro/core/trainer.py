@@ -66,6 +66,13 @@ class TrainingConfig:
             evaluation (None reads ``REPRO_EVAL_BATCH``; 1 = serial);
             composes with ``workers``.  See
             :class:`repro.rl.batched.BatchedEpisodeRunner`.
+        kfac_threads: ACKTR actor/critic update concurrency (None reads
+            ``REPRO_KFAC_THREADS``, default 2; 1 = serial; bit-identical
+            either way).
+        stat_interval: Refresh ACKTR's Kronecker-factor statistics every
+            this many updates (default 1 = every update, the historical
+            bit-identical behaviour; larger values amortize the Fisher
+            pass and change the rng stream).
         seed_timeout: Per-seed wall-clock limit in seconds (parallel
             mode); None = no limit.
     """
@@ -84,6 +91,8 @@ class TrainingConfig:
     eval_episodes: int = 1
     workers: Optional[int] = None
     eval_batch: Optional[int] = None
+    kfac_threads: Optional[int] = None
+    stat_interval: int = 1
     seed_timeout: Optional[float] = None
 
     def to_acktr_config(self) -> ACKTRConfig:
@@ -96,6 +105,8 @@ class TrainingConfig:
             n_steps=self.n_steps,
             n_envs=self.n_envs,
             kl_clip=self.kl_clip,
+            kfac_threads=self.kfac_threads,
+            stat_interval=self.stat_interval,
         )
 
     def quick(self) -> "TrainingConfig":

@@ -296,7 +296,9 @@ class SuiteConfig:
     evaluations out across processes (None reads ``REPRO_WORKERS``);
     ``eval_batch`` additionally batches the in-process selection
     evaluations of the DRL training runs (None reads
-    ``REPRO_EVAL_BATCH``) — processes × in-process batching compose.
+    ``REPRO_EVAL_BATCH``) — processes × in-process batching compose;
+    ``kfac_threads``/``stat_interval`` tune the ACKTR optimizer path of
+    the training runs (see :class:`~repro.rl.acktr.ACKTRConfig`).
     """
 
     train_seeds: Sequence[int] = (0, 1)
@@ -307,6 +309,8 @@ class SuiteConfig:
     n_steps: int = 32
     workers: Optional[int] = None
     eval_batch: Optional[int] = None
+    kfac_threads: Optional[int] = None
+    stat_interval: int = 1
 
 
 @dataclass
@@ -456,6 +460,8 @@ def build_algorithm_suite(
             n_steps=suite.n_steps,
             workers=suite.workers,
             eval_batch=suite.eval_batch,
+            kfac_threads=suite.kfac_threads,
+            stat_interval=suite.stat_interval,
         )
         result = train_coordinator(env_config, training, verbose=verbose)
         coordinator = result.coordinator

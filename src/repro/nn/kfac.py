@@ -27,12 +27,14 @@ Usage inside a trainer::
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.invariants import InvariantViolation
 from repro.nn.mlp import MLP
+from repro.nn.optim import clip_grads_by_norm
 
 __all__ = ["KFAC"]
 
@@ -90,6 +92,14 @@ class KFAC:
         self._grad_scratch: List[np.ndarray] = [
             np.empty_like(d.weight) for d in layers
         ]
+        # step() works through three weight-shaped buffers per layer
+        # (natural gradient, GEMM-chain temporary, trust-region product)
+        # so the per-update preconditioning allocates nothing; out=
+        # matmul/multiply produce bitwise-identical floats to the
+        # allocating expressions they replace.
+        self._u_buf: List[np.ndarray] = [np.empty_like(d.weight) for d in layers]
+        self._t_buf: List[np.ndarray] = [np.empty_like(d.weight) for d in layers]
+        self._q_buf: List[np.ndarray] = [np.empty_like(d.weight) for d in layers]
         self._steps = 0
         self._stat_updates = 0
         #: Trust-region rescale of the most recent :meth:`step` (1.0 when
@@ -98,6 +108,18 @@ class KFAC:
         #: Predicted KL ``½ Δθᵀ F Δθ`` of the most recently *applied*
         #: (rescaled) step; ≤ ``kl_clip`` by construction.
         self.last_predicted_kl: float = 0.0
+        #: Global gradient norm *before* clipping of the most recent
+        #: :meth:`step` (0.0 until the first step, or when clipping is
+        #: disabled) — surfaced as ``grad_norm`` in training telemetry.
+        self.last_grad_norm: float = 0.0
+        #: When True, :meth:`step` records wall-clock attribution of its
+        #: two sub-phases into ``last_inversion_seconds`` /
+        #: ``last_precondition_seconds`` (read by the trainer's phase
+        #: profiler; two clock reads per step when enabled, zero cost
+        #: otherwise).
+        self.profile: bool = False
+        self.last_inversion_seconds: float = 0.0
+        self.last_precondition_seconds: float = 0.0
 
     # ------------------------------------------------------------------
 
@@ -163,16 +185,21 @@ class KFAC:
             np.copyto(buf, g)
         grads = self._grad_scratch
         if self.max_grad_norm is not None:
-            from repro.nn.optim import clip_grads_by_norm
+            self.last_grad_norm = clip_grads_by_norm(grads, self.max_grad_norm)
 
-            clip_grads_by_norm(grads, self.max_grad_norm)
-
+        profile = self.profile
+        t0 = t1 = time.perf_counter() if profile else 0.0
         if self._steps % self.inversion_interval == 0:
             self._refresh_inverses()
         self._steps += 1
+        if profile:
+            t1 = time.perf_counter()
+            self.last_inversion_seconds = t1 - t0
 
-        # Preconditioned (natural) gradients per layer.
-        updates: List[np.ndarray] = []
+        # Preconditioned (natural) gradients per layer, written into the
+        # preallocated ``_u_buf`` scratch (``A⁻¹ ∇W G⁻¹`` via two out=
+        # GEMMs — bitwise identical to the chained ``@`` expression).
+        updates = self._u_buf
         for layer_index, (grad, a_inv, g_inv) in enumerate(
             zip(grads, self._A_inv, self._G_inv)
         ):
@@ -182,18 +209,28 @@ class KFAC:
                     "(refresh interval logic broke)",
                     layer=layer_index, steps=self._steps,
                 )
-            updates.append(a_inv @ grad @ g_inv)
+            np.matmul(a_inv, grad, out=self._t_buf[layer_index])
+            np.matmul(self._t_buf[layer_index], g_inv, out=updates[layer_index])
 
         # Trust region: predicted KL ≈ ½ η² Σ tr(uᵀ A u G); rescale so the
         # actual step's predicted KL stays below kl_clip.
         quad = 0.0
-        for u, a, g in zip(updates, self._A, self._G):
-            quad += float(np.sum(u * (a @ u @ g)))
+        for u, a, g, tmp, prod in zip(
+            updates, self._A, self._G, self._t_buf, self._q_buf
+        ):
+            np.matmul(a, u, out=tmp)
+            np.matmul(tmp, g, out=prod)
+            np.multiply(u, prod, out=tmp)
+            quad += float(np.sum(tmp))
         quad = max(quad, 1e-12)
         scale = min(1.0, np.sqrt(2.0 * self.kl_clip / (self.lr**2 * quad)))
         self.last_scale = float(scale)
         self.last_predicted_kl = float(0.5 * (self.lr * scale) ** 2 * quad)
 
-        for weight, update in zip(self.model.parameters, updates):
-            weight -= self.lr * scale * update
+        step_size = self.lr * scale
+        for weight, update, tmp in zip(self.model.parameters, updates, self._t_buf):
+            np.multiply(update, step_size, out=tmp)
+            weight -= tmp
+        if profile:
+            self.last_precondition_seconds = time.perf_counter() - t1
         return float(scale)

@@ -115,6 +115,31 @@ class Dense:
         # Drop the bias row when propagating to the input.
         return dz @ self.weight[:-1].T
 
+    def backward_pair(self, dz_pair: np.ndarray) -> np.ndarray:
+        """Fused backward for two stacked output-gradient sets.
+
+        ``dz_pair`` is ``(2B, out)``: rows ``[:B]`` the sampled-Fisher
+        gradients, rows ``[B:]`` the loss gradients, both w.r.t. this
+        layer's pre-activations for the *same* cached forward batch.
+        Sets ``last_output_grad`` to the Fisher half (the array
+        ``KFAC.update_stats`` consumes), ``grad`` from the loss half
+        (two separate stat/grad GEMMs, identical to two
+        :meth:`backward` calls), and propagates *both* delta chains
+        through a single ``(2B, out) @ (out, in)`` GEMM — the fusion
+        that halves the delta-propagation work.
+        """
+        if self.last_input_aug is None:
+            raise RuntimeError("Dense.backward_pair() called before forward()")
+        batch = self.last_input_aug.shape[0]
+        if dz_pair.shape != (2 * batch, self.out_dim):
+            raise ValueError(
+                f"Dense({self.in_dim},{self.out_dim}): backward_pair needs a "
+                f"(2*{batch}, {self.out_dim}) stacked gradient, got {dz_pair.shape}"
+            )
+        self.last_output_grad = dz_pair[:batch]
+        self.grad = self.last_input_aug.T @ dz_pair[batch:]
+        return dz_pair @ self.weight[:-1].T
+
     def zero_grad(self) -> None:
         self.grad = np.zeros_like(self.weight)
 

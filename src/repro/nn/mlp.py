@@ -3,14 +3,14 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, List, Optional, Sequence, Type, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
 from repro.nn.init import RNGLike
 from repro.nn.layers import Activation, Dense, Identity, ReLU, Tanh
 
-__all__ = ["MLP", "MLPInference"]
+__all__ = ["MLP", "MLPInference", "fused_backward_is_exact"]
 
 _ACTIVATIONS = {"tanh": Tanh, "relu": ReLU, "identity": Identity}
 
@@ -59,6 +59,11 @@ class MLP:
         self.activations.append(Identity())
         self.in_dim = in_dim
         self.out_dim = out_dim
+        self.activation = activation
+        self.hidden = tuple(hidden)
+        # Reusable (2B, out) stacking buffer for backward_pair, keyed by
+        # shape (the training loop calls it with one fixed batch size).
+        self._pair_buffers: Dict[Tuple[int, int], np.ndarray] = {}
 
     # ------------------------------------------------------------------
 
@@ -78,6 +83,54 @@ class MLP:
         grad = dout
         for dense, act in zip(reversed(self.dense_layers), reversed(self.activations)):
             grad = dense.backward(act.backward(grad), accumulate=accumulate)
+        return grad
+
+    def backward_pair(
+        self, fisher_dout: np.ndarray, loss_dout: np.ndarray
+    ) -> np.ndarray:
+        """Fused dual backward: one delta chain for two output-gradient sets.
+
+        The K-FAC training step needs two backward passes through the
+        *same* cached activations — one with sampled-Fisher output
+        gradients (to populate ``last_output_grad`` for
+        ``KFAC.update_stats``) and one with the loss gradients (to fill
+        each layer's ``grad``).  This method stacks both sets into a
+        ``(2B, out)`` block and propagates them together, halving the
+        delta-propagation GEMMs and computing each activation derivative
+        once instead of twice; the per-layer grad/stat GEMMs stay
+        separate (see :meth:`Dense.backward_pair`), so every float the
+        optimiser consumes is produced by the same operation sequence.
+
+        Bit-identity with two serial :meth:`backward` calls depends on
+        the BLAS treating a ``(2B, k) @ (k, m)`` GEMM as a row-block
+        extension of ``(B, k) @ (k, m)`` (K-accumulation order
+        independent of M) — true for the bundled OpenBLAS but gated at
+        runtime by :func:`fused_backward_is_exact`, never assumed.
+
+        Returns the stacked ``(2B, in_dim)`` input gradients.
+        """
+        batch = fisher_dout.shape[0]
+        if loss_dout.shape != fisher_dout.shape:
+            raise ValueError(
+                "backward_pair needs equally shaped gradient sets, got "
+                f"{fisher_dout.shape} vs {loss_dout.shape}"
+            )
+        key = (2 * batch, self.out_dim)
+        pair = self._pair_buffers.get(key)
+        if pair is None:
+            pair = self._pair_buffers[key] = np.empty(key, dtype=np.float64)
+        pair[:batch] = fisher_dout
+        pair[batch:] = loss_dout
+        grad = pair
+        for dense, act in zip(reversed(self.dense_layers), reversed(self.activations)):
+            # The activation derivative depends only on the cached (B, h)
+            # forward output; a (2, B, h) view broadcasts it over both
+            # gradient sets in one elementwise pass.
+            width = grad.shape[1]
+            grad = act.backward(grad.reshape(2, batch, width)).reshape(
+                2 * batch, width
+            )
+            grad = dense.backward_pair(grad)
         return grad
 
     def zero_grad(self) -> None:
@@ -126,6 +179,64 @@ class MLP:
         """Load weights saved by :meth:`save` into this (same-shape) MLP."""
         data = np.load(Path(path))
         self.set_parameters([data[f"w{i}"] for i in range(len(self.dense_layers))])
+
+
+#: Cache of probe results keyed by (in_dim, hidden, out_dim, batch,
+#: activation) — the probe builds scratch networks and runs real GEMMs,
+#: so each architecture/batch combination is checked once per process.
+_FUSED_EXACTNESS_CACHE: Dict[Tuple[Any, ...], bool] = {}
+
+
+def fused_backward_is_exact(
+    in_dim: int,
+    hidden: Sequence[int],
+    out_dim: int,
+    batch: int,
+    activation: str = "tanh",
+) -> bool:
+    """Probe whether :meth:`MLP.backward_pair` is bitwise-identical to two
+    serial :meth:`MLP.backward` calls for this architecture and batch size.
+
+    The fusion's only numerical assumption is that the BLAS computes a
+    ``(2B, k) @ (k, m)`` GEMM row-block-compatibly with ``(B, k) @ (k, m)``
+    (K-accumulation order independent of M).  That holds for the bundled
+    OpenBLAS kernels on every probed shape, but it is a property of the
+    BLAS build and thread count, not of the algorithm — so the trainer
+    asks this probe at construction time with its *real* shapes instead of
+    assuming, and falls back to the serial two-pass path when the answer
+    is no (mirroring how the float32 eval path is gated).
+
+    The probe is deterministic (fixed local generator, no global rng
+    consumed) and compares, layer by layer, the three arrays the
+    optimiser consumes: ``grad``, ``last_output_grad``, and the
+    propagated input gradients.
+    """
+    key = (in_dim, tuple(hidden), out_dim, batch, activation)
+    cached = _FUSED_EXACTNESS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    rng = np.random.default_rng(0)
+    ref = MLP(in_dim, hidden, out_dim, activation=activation, rng=0)
+    fused = MLP(in_dim, hidden, out_dim, activation=activation, rng=0)
+    x = rng.standard_normal((batch, in_dim))
+    fisher_dout = rng.standard_normal((batch, out_dim))
+    loss_dout = rng.standard_normal((batch, out_dim))
+    ref.forward(x)
+    fused.forward(x)
+    # Reference: Fisher backward (caches last_output_grad), then loss
+    # backward — the exact sequence ACKTR runs on the serial path.
+    ref.backward(fisher_dout)
+    ref_stats = [d.last_output_grad.copy() for d in ref.dense_layers]  # type: ignore[union-attr]
+    ref_dx = ref.backward(loss_dout)
+    ref_grads = [d.grad.copy() for d in ref.dense_layers]
+    fused_dx = fused.backward_pair(fisher_dout, loss_dout)
+    exact = all(
+        np.array_equal(fd.grad, rg)
+        and np.array_equal(fd.last_output_grad, rs)  # type: ignore[arg-type]
+        for fd, rg, rs in zip(fused.dense_layers, ref_grads, ref_stats)
+    ) and np.array_equal(fused_dx[batch:], ref_dx)
+    _FUSED_EXACTNESS_CACHE[key] = exact
+    return exact
 
 
 class MLPInference:

@@ -28,7 +28,12 @@ from __future__ import annotations
 import os
 from typing import Any, Dict, List, Tuple
 
-__all__ = ["PhaseAccumulator", "phase_profiling_enabled", "PHASE_NAMES"]
+__all__ = [
+    "PhaseAccumulator",
+    "phase_profiling_enabled",
+    "PHASE_NAMES",
+    "OPTIMIZER_SUBPHASE_NAMES",
+]
 
 #: Canonical phase order for reports.
 PHASE_NAMES: Tuple[str, ...] = (
@@ -36,6 +41,19 @@ PHASE_NAMES: Tuple[str, ...] = (
     "obs_build",
     "policy_forward",
     "optimizer_update",
+)
+
+#: Sub-phase attribution *within* ``optimizer_update`` (ACKTR/K-FAC
+#: only; zero for plain A2C).  These are not part of the top-level total:
+#: with concurrent actor/critic updates the two networks' sub-phase
+#: clocks run in parallel threads, so their sum can legitimately exceed
+#: the ``optimizer_update`` wall time (they measure busy time, the
+#: parent phase measures wall time).
+OPTIMIZER_SUBPHASE_NAMES: Tuple[str, ...] = (
+    "fisher_stats",
+    "grad_pass",
+    "inversion",
+    "precondition",
 )
 
 
@@ -60,6 +78,17 @@ class PhaseAccumulator:
             bootstrap values during rollout collection.
         optimizer_update: the whole ``_apply_update`` (update-batch
             forward/backward passes and the optimizer step itself).
+
+    ACKTR additionally splits ``optimizer_update`` into busy-time
+    sub-phases (see :data:`OPTIMIZER_SUBPHASE_NAMES`):
+        fisher_stats: sampled-Fisher backward + ``KFAC.update_stats``
+            EMA folds (skipped entirely on ``stat_interval`` skip
+            updates).
+        grad_pass: loss backward passes (the fused dual backward counts
+            here, including the Fisher half of its stacked delta chain).
+        inversion: ``KFAC._refresh_inverses`` (factor inversions).
+        precondition: the rest of ``KFAC.step`` — clip, preconditioned
+            GEMMs, trust-region rescale, weight update.
     """
 
     __slots__ = (
@@ -67,8 +96,13 @@ class PhaseAccumulator:
         "obs_build",
         "policy_forward",
         "optimizer_update",
+        "fisher_stats",
+        "grad_pass",
+        "inversion",
+        "precondition",
         "steps",
         "updates",
+        "stat_skips",
     )
 
     def __init__(self) -> None:
@@ -79,9 +113,16 @@ class PhaseAccumulator:
         self.obs_build = 0.0
         self.policy_forward = 0.0
         self.optimizer_update = 0.0
+        self.fisher_stats = 0.0
+        self.grad_pass = 0.0
+        self.inversion = 0.0
+        self.precondition = 0.0
         #: Env steps and optimizer updates attributed so far.
         self.steps = 0
         self.updates = 0
+        #: Updates that skipped the Fisher-statistics refresh
+        #: (``stat_interval`` amortization).
+        self.stat_skips = 0
 
     # ------------------------------------------------------------------
 
@@ -100,9 +141,14 @@ class PhaseAccumulator:
         """(name, seconds) pairs in canonical order."""
         return [(name, getattr(self, name)) for name in PHASE_NAMES]
 
+    @property
+    def optimizer_subphases(self) -> List[Tuple[str, float]]:
+        """(name, busy-seconds) pairs of the optimizer-update split."""
+        return [(name, getattr(self, name)) for name in OPTIMIZER_SUBPHASE_NAMES]
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready breakdown, shape-compatible with PhaseTimer.to_dict."""
-        return {
+        out: Dict[str, Any] = {
             "phases": [
                 {"name": name, "seconds": seconds} for name, seconds in self.phases
             ],
@@ -110,6 +156,13 @@ class PhaseAccumulator:
             "steps": self.steps,
             "updates": self.updates,
         }
+        if any(seconds for _, seconds in self.optimizer_subphases):
+            out["optimizer_subphases"] = [
+                {"name": name, "seconds": seconds}
+                for name, seconds in self.optimizer_subphases
+            ]
+            out["stat_skips"] = self.stat_skips
+        return out
 
     def render(self) -> str:
         """One-line human-readable breakdown with percentages."""
@@ -120,4 +173,11 @@ class PhaseAccumulator:
             f"{name}={seconds:.3f}s ({100.0 * seconds / total:.0f}%)"
             for name, seconds in self.phases
         ]
-        return "phases: " + " ".join(parts)
+        line = "phases: " + " ".join(parts)
+        if any(seconds for _, seconds in self.optimizer_subphases):
+            split = " ".join(
+                f"{name}={seconds:.3f}s"
+                for name, seconds in self.optimizer_subphases
+            )
+            line += f" [optimizer busy: {split}]"
+        return line

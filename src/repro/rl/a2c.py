@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -67,8 +67,8 @@ class UpdateStats:
         value_loss: Weighted mean squared TD error.
         entropy: Mean policy entropy over the batch.
         mean_return: Mean bootstrapped return of the batch.
-        grad_norm: Actor gradient norm before clipping (0.0 for ACKTR,
-            whose K-FAC step clips internally).
+        grad_norm: Actor gradient norm before clipping (for ACKTR this
+            is the pre-clip norm recorded by the actor's K-FAC step).
         kl: Predicted trust-region KL of the applied actor step (ACKTR
             only; None for plain A2C, which has no trust region).
         trust_scale_actor: K-FAC trust-region rescale of the actor step
@@ -267,12 +267,21 @@ class A2CTrainer:
                 )
         prof = self.profiler
         if prof is not None and self.recorder.enabled:
+            fields: Dict[str, Any] = {
+                name: seconds for name, seconds in prof.phases
+            }
+            subphases = {name: s for name, s in prof.optimizer_subphases}
+            if any(subphases.values()):
+                # ACKTR optimizer-update split (busy time per thread, so
+                # the sum may exceed optimizer_update under concurrency).
+                fields.update(subphases)
+                fields["stat_skips"] = prof.stat_skips
             self.recorder.emit(
                 "train_phases",
                 seed=self.seed,
                 updates=total_updates,
                 wall_seconds=_time.perf_counter() - wall_start,
-                **{name: seconds for name, seconds in prof.phases},
+                **fields,
             )
         return history
 

@@ -9,19 +9,91 @@ K-FAC natural gradients under a KL trust region:
 - **critic** — Gauss-Newton statistics from targets sampled around the
   current value prediction (equivalent to the Fisher of a unit-variance
   Gaussian observation model).
+
+Optimizer-path throughput machinery (all bit-identical at the default
+configuration; see DESIGN.md §8):
+
+- **Concurrent actor/critic updates** — the two K-FAC updates touch
+  disjoint state (separate MLPs, separate :class:`KFAC` instances), so
+  once the shared-rng draws are hoisted into a serial prologue the two
+  network updates run on separate threads (numpy's BLAS releases the GIL
+  during GEMMs).  Identical floats by construction: every array each
+  thread touches is private to its network.  ``kfac_threads`` /
+  ``--kfac-threads`` / ``REPRO_KFAC_THREADS`` knob, default 2 (1 on
+  single-core hosts, where overlap cannot pay for dispatch).
+- **Fused dual backward** — each network needs two backward passes per
+  update through the same cached activations (sampled-Fisher pass +
+  loss pass); :meth:`MLP.backward_pair` stacks both into one ``(2B,
+  out)`` delta chain.  Gated by a runtime bitwise-exactness probe
+  (:func:`fused_backward_is_exact`): exact on this BLAS → default on,
+  else the serial two-pass path is kept (``fused_backward="off"``/
+  ``"on"`` force either).
+- **Amortized Fisher statistics** — ``stat_interval > 1`` refreshes the
+  Kronecker-factor EMAs (Fisher backward + ``update_stats`` + both rng
+  draws) only every N-th update, in the spirit of stable-baselines'
+  async Fisher workers.  Default 1 keeps the rng stream and every float
+  identical; see EXPERIMENTS.md for learning-curve impact at 5/10.
 """
 
 from __future__ import annotations
 
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.nn.distributions import Categorical
 from repro.nn.kfac import KFAC
+from repro.nn.mlp import MLP, fused_backward_is_exact
 from repro.rl.a2c import A2CConfig, A2CTrainer, UpdateStats
 
-__all__ = ["ACKTRConfig", "ACKTRTrainer"]
+__all__ = ["ACKTRConfig", "ACKTRTrainer", "resolve_kfac_threads"]
+
+
+def resolve_kfac_threads(value: Optional[int]) -> int:
+    """Effective K-FAC update concurrency: explicit ``value``, else the
+    ``REPRO_KFAC_THREADS`` environment variable, else 2 on multi-core
+    hosts (concurrent actor/critic updates — bit-identical to serial, so
+    safe by default) and 1 on single-core hosts (where dispatch overhead
+    cannot be bought back by overlap; results are identical either way).
+    1 disables threading entirely; values above 2 are accepted but there
+    are only two network updates to overlap."""
+    if value is None:
+        raw = os.environ.get("REPRO_KFAC_THREADS", "").strip()
+        if not raw:
+            return 2 if (os.cpu_count() or 1) >= 2 else 1
+        value = int(raw)
+    if value < 1:
+        raise ValueError(f"kfac threads must be >= 1, got {value}")
+    return int(value)
+
+
+# One lazily created pool shared by every trainer in the process: the
+# dispatch pattern runs the critic update on the calling thread and only
+# the actor update on the pool, so a single worker yields two concurrent
+# update threads.  Module-level (not per-trainer) so multi-seed runs
+# don't accumulate idle threads, with a fork hook so a worker process
+# forked mid-run never inherits a dead executor thread.
+_EXECUTOR: Optional[ThreadPoolExecutor] = None
+
+
+def _kfac_executor() -> ThreadPoolExecutor:
+    global _EXECUTOR
+    if _EXECUTOR is None:
+        _EXECUTOR = ThreadPoolExecutor(max_workers=1, thread_name_prefix="kfac")
+    return _EXECUTOR
+
+
+def _reset_executor_after_fork() -> None:
+    global _EXECUTOR
+    _EXECUTOR = None
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=_reset_executor_after_fork)
 
 
 @dataclass(frozen=True)
@@ -36,6 +108,17 @@ class ACKTRConfig(A2CConfig):
         damping: Tikhonov damping for the K-FAC factor inversions.
         stat_decay: EMA decay of the Kronecker factors.
         inversion_interval: Updates between factor re-inversions.
+        kfac_threads: Actor/critic update concurrency (1 = serial, >= 2
+            = overlapped on two threads, bit-identical either way);
+            ``None`` reads ``REPRO_KFAC_THREADS``, then defaults to 2
+            on multi-core hosts and 1 on single-core hosts.
+        stat_interval: Refresh the Kronecker-factor statistics every
+            this many updates (1 = every update, bit-identical to the
+            historical behaviour; larger values amortize the Fisher
+            backward + EMA cost and *change the rng stream*).
+        fused_backward: ``"auto"`` (default) uses the fused dual
+            backward iff the runtime probe shows it bitwise-exact for
+            this architecture/batch; ``"on"``/``"off"`` force it.
     """
 
     kl_clip: float = 0.001
@@ -43,15 +126,40 @@ class ACKTRConfig(A2CConfig):
     damping: float = 0.01
     stat_decay: float = 0.95
     inversion_interval: int = 10
+    kfac_threads: Optional[int] = None
+    stat_interval: int = 1
+    fused_backward: str = "auto"
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.kl_clip <= 0:
             raise ValueError(f"kl_clip must be > 0, got {self.kl_clip}")
+        if self.stat_interval < 1:
+            raise ValueError(
+                f"stat_interval must be >= 1, got {self.stat_interval}"
+            )
+        if self.kfac_threads is not None and self.kfac_threads < 1:
+            raise ValueError(
+                f"kfac_threads must be >= 1, got {self.kfac_threads}"
+            )
+        if self.fused_backward not in ("auto", "on", "off"):
+            raise ValueError(
+                'fused_backward must be "auto", "on", or "off", '
+                f"got {self.fused_backward!r}"
+            )
 
 
 class ACKTRTrainer(A2CTrainer):
-    """A2C data flow + K-FAC trust-region updates for actor and critic."""
+    """A2C data flow + K-FAC trust-region updates for actor and critic.
+
+    Attributes (beyond :class:`A2CTrainer`):
+        kfac_threads: Resolved update concurrency (see
+            :func:`resolve_kfac_threads`).
+        fused_backward_active: Whether the fused dual backward is in use
+            (resolved from config + runtime exactness probe).
+        fisher_stat_skips: Updates that skipped the Fisher-statistics
+            refresh under ``stat_interval`` amortization.
+    """
 
     config: ACKTRConfig
 
@@ -82,6 +190,80 @@ class ACKTRTrainer(A2CTrainer):
             inversion_interval=cfg.inversion_interval,
             max_grad_norm=cfg.max_grad_norm,
         )
+        self.kfac_threads = resolve_kfac_threads(cfg.kfac_threads)
+        self.fisher_stat_skips = 0
+        if cfg.fused_backward == "on":
+            self.fused_backward_active = True
+        elif cfg.fused_backward == "off":
+            self.fused_backward_active = False
+        else:
+            # Probe with the trainer's real shapes and update-batch size;
+            # results are cached per (architecture, batch) per process.
+            batch = cfg.n_steps * cfg.n_envs
+            self.fused_backward_active = all(
+                fused_backward_is_exact(
+                    net.in_dim, net.hidden, net.out_dim, batch, net.activation
+                )
+                for net in (self.policy.actor, self.policy.critic)
+            )
+
+    def attach_profiler(self, profiler):
+        """Additionally arm the K-FAC instances' sub-phase clocks."""
+        super().attach_profiler(profiler)
+        self.actor_kfac.profile = True
+        self.critic_kfac.profile = True
+        return profiler
+
+    # ------------------------------------------------------------------
+
+    def _network_update(
+        self,
+        network: MLP,
+        kfac: KFAC,
+        stat_dout: Optional[np.ndarray],
+        loss_dout: np.ndarray,
+    ) -> Tuple[float, float]:
+        """One network's Fisher-stats refresh + loss backward + K-FAC step.
+
+        Self-contained per network — touches only ``network``'s layers
+        and ``kfac``'s factors — so the actor and critic instances can
+        run concurrently on separate threads without synchronisation.
+        ``stat_dout`` is the sampled-Fisher output gradient, or ``None``
+        on a ``stat_interval`` skip update.
+
+        Returns ``(fisher_stats_seconds, grad_pass_seconds)`` busy times
+        for the profiler (zeros when profiling is off); inversion and
+        preconditioning times are recorded on ``kfac`` itself.
+        """
+        profile = kfac.profile
+        fisher_seconds = grad_seconds = 0.0
+        if stat_dout is None:
+            t0 = time.perf_counter() if profile else 0.0
+            network.backward(loss_dout)
+            if profile:
+                grad_seconds = time.perf_counter() - t0
+        elif self.fused_backward_active:
+            t0 = time.perf_counter() if profile else 0.0
+            network.backward_pair(stat_dout, loss_dout)
+            if profile:
+                t1 = time.perf_counter()
+                grad_seconds = t1 - t0
+            kfac.update_stats()
+            if profile:
+                fisher_seconds = time.perf_counter() - t1
+        else:
+            t0 = time.perf_counter() if profile else 0.0
+            network.backward(stat_dout)
+            kfac.update_stats()
+            if profile:
+                t1 = time.perf_counter()
+                fisher_seconds = t1 - t0
+            network.backward(loss_dout)
+            if profile:
+                t2 = time.perf_counter()
+                grad_seconds = t2 - t1
+        kfac.step([d.grad for d in network.dense_layers])
+        return fisher_seconds, grad_seconds
 
     def _apply_update(
         self,
@@ -92,49 +274,84 @@ class ACKTRTrainer(A2CTrainer):
     ) -> UpdateStats:
         cfg: ACKTRConfig = self.config  # type: ignore[assignment]
         batch = obs.shape[0]
+        prof = self.profiler
 
-        # --- actor -----------------------------------------------------
+        # --- serial prologue: forwards, losses, and *all* rng draws ----
+        # The two networks' forward passes populate the layer caches the
+        # backward passes and K-FAC statistics read; the rng draws happen
+        # here, in the historical order (actor Fisher sample first,
+        # critic noise second), so the shared stream is identical whether
+        # the updates below run serially or overlapped.
         dist = Categorical(self.policy.actor.forward(obs))
         log_probs = dist.log_prob(actions)
         entropy = dist.entropy()
         policy_loss = float(-(advantages * log_probs).mean())
         entropy_mean = float(entropy.mean())
 
-        # 1) Fisher pass: backprop gradients of the model's own sampled
-        # log-likelihood to populate the per-layer K-FAC caches.
-        fisher_grad = cfg.fisher_coef * dist.fisher_sample_grad(self.rng)
-        self.policy.actor.backward(fisher_grad)
-        self.actor_kfac.update_stats()
-
-        # 2) Loss pass: true policy-gradient + entropy gradients.
-        dlogits = (
-            -advantages[:, None] * dist.grad_log_prob(actions)
-            - cfg.entropy_coef * dist.grad_entropy()
-        ) / batch
-        self.policy.actor.backward(dlogits)
-        self.actor_kfac.step([d.grad for d in self.policy.actor.dense_layers])
-
-        # --- critic ----------------------------------------------------
         values = self.policy.critic.forward(obs)[:, 0]
         td = values - returns
         value_loss = float(cfg.value_loss_coef * 0.5 * (td**2).mean())
 
-        # Gauss-Newton/Fisher pass: target sampled at v + ε, ε ~ N(0, 1)
-        # gives per-example output gradient ε.
-        noise = self.rng.normal(size=(batch, 1))
-        self.policy.critic.backward(noise)
-        self.critic_kfac.update_stats()
+        fisher_grad: Optional[np.ndarray] = None
+        noise: Optional[np.ndarray] = None
+        if self.updates_done % cfg.stat_interval == 0:
+            # Actor Fisher pass input: gradients of the model's *own*
+            # sampled log-likelihood.  Critic Gauss-Newton pass input:
+            # target sampled at v + ε, ε ~ N(0, 1), giving per-example
+            # output gradient ε.
+            fisher_grad = cfg.fisher_coef * dist.fisher_sample_grad(self.rng)
+            noise = self.rng.normal(size=(batch, 1))
+        else:
+            self.fisher_stat_skips += 1
+            if prof is not None:
+                prof.stat_skips += 1
 
+        # True loss gradients (per example, already /batch).
+        dlogits = (
+            -advantages[:, None] * dist.grad_log_prob(actions)
+            - cfg.entropy_coef * dist.grad_entropy()
+        ) / batch
         dvalues = (cfg.value_loss_coef * td / batch)[:, None]
-        self.policy.critic.backward(dvalues)
-        self.critic_kfac.step([d.grad for d in self.policy.critic.dense_layers])
+
+        # --- disjoint network updates: overlap when allowed ------------
+        if self.kfac_threads >= 2:
+            future = _kfac_executor().submit(
+                self._network_update,
+                self.policy.actor, self.actor_kfac, fisher_grad, dlogits,
+            )
+            critic_times = self._network_update(
+                self.policy.critic, self.critic_kfac, noise, dvalues
+            )
+            actor_times = future.result()
+        else:
+            actor_times = self._network_update(
+                self.policy.actor, self.actor_kfac, fisher_grad, dlogits
+            )
+            critic_times = self._network_update(
+                self.policy.critic, self.critic_kfac, noise, dvalues
+            )
+
+        if prof is not None:
+            # Busy-time attribution: per-thread clocks, accumulated after
+            # the join — under concurrency their sum can exceed the
+            # optimizer_update wall time by design.
+            prof.fisher_stats += actor_times[0] + critic_times[0]
+            prof.grad_pass += actor_times[1] + critic_times[1]
+            prof.inversion += (
+                self.actor_kfac.last_inversion_seconds
+                + self.critic_kfac.last_inversion_seconds
+            )
+            prof.precondition += (
+                self.actor_kfac.last_precondition_seconds
+                + self.critic_kfac.last_precondition_seconds
+            )
 
         return UpdateStats(
             policy_loss=policy_loss,
             value_loss=value_loss,
             entropy=entropy_mean,
             mean_return=float(returns.mean()),
-            grad_norm=0.0,
+            grad_norm=self.actor_kfac.last_grad_norm,
             # Predicted KL of the applied actor step — the quantity the
             # trust region bounds (paper: KL clipping 0.001).
             kl=self.actor_kfac.last_predicted_kl,

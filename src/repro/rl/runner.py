@@ -14,6 +14,8 @@ from typing import Any, Dict, List, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.distributions import Categorical
+from repro.nn.mlp import MLP, MLPInference
 from repro.rl.buffer import RolloutBuffer
 from repro.rl.policy import ActorCriticPolicy
 
@@ -115,6 +117,21 @@ class ParallelRunner:
         self._next_obs = np.empty_like(self._obs)
         self._rewards = np.zeros(len(envs))
         self._dones = np.zeros(len(envs))
+        # Action-selection fast path: float64 MLPInference forwards are
+        # bitwise-identical to MLP.forward (same ufuncs, same GEMM, live
+        # weight references) but reuse preallocated workspaces, so the
+        # per-step actor/critic forwards allocate nothing.  The policy's
+        # ``act``/``values`` also compute log-probs the rollout discards;
+        # the fast path skips them (pure compute — rng-stream neutral).
+        # Policies without plain-MLP actor/critic (test doubles) keep
+        # the generic ``policy.act`` path.
+        self._actor_inference: "MLPInference | None" = None
+        self._critic_inference: "MLPInference | None" = None
+        if isinstance(
+            getattr(policy, "actor", None), MLP
+        ) and isinstance(getattr(policy, "critic", None), MLP):
+            self._actor_inference = MLPInference(policy.actor)
+            self._critic_inference = MLPInference(policy.critic)
         #: Completed-episode summaries, drained by the trainer.
         self.finished_episodes: List[EpisodeRecord] = []
 
@@ -129,9 +146,19 @@ class ParallelRunner:
         prof = self.profiler
         next_obs, rewards, dones = self._next_obs, self._rewards, self._dones
         info_keys = self.info_keys
+        actor_inf, critic_inf = self._actor_inference, self._critic_inference
         for _ in range(self.n_steps):
             start = perf_counter() if prof is not None else 0.0
-            actions, values, _ = self.policy.act(self._obs, self.rng)
+            if actor_inf is not None and critic_inf is not None:
+                # Same draws, same floats as policy.act minus the unused
+                # log-prob computation; ``values`` views the critic
+                # workspace, which stays untouched until buffer.add has
+                # copied it.
+                dist = Categorical(actor_inf.forward(self._obs))
+                actions = dist.sample(self.rng)
+                values = critic_inf.forward(self._obs)[:, 0]
+            else:
+                actions, values, _ = self.policy.act(self._obs, self.rng)
             if prof is not None:
                 prof.policy_forward += perf_counter() - start
             for i, env in enumerate(self.envs):
@@ -158,7 +185,12 @@ class ParallelRunner:
             self._obs, next_obs = next_obs, self._obs
         self._next_obs, self._rewards, self._dones = next_obs, rewards, dones
         start = perf_counter() if prof is not None else 0.0
-        last_values = self.policy.values(self._obs)
+        if critic_inf is not None:
+            # Copy out of the workspace: the bootstrap values outlive the
+            # next forward pass.
+            last_values = critic_inf.forward(self._obs)[:, 0].copy()
+        else:
+            last_values = self.policy.values(self._obs)
         if prof is not None:
             prof.policy_forward += perf_counter() - start
         return last_values

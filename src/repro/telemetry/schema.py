@@ -12,7 +12,9 @@ Record kinds
 ``train_update``
     One gradient update of a trainer: ``update`` (1-based index),
     ``policy_loss``, ``value_loss``, ``entropy``, ``mean_return``;
-    optionally ``kl`` (ACKTR predicted trust-region KL), ``grad_norm``,
+    optionally ``kl`` (ACKTR predicted trust-region KL), ``grad_norm``
+    (actor gradient norm before clipping — for ACKTR the pre-clip norm
+    recorded by the actor's K-FAC step),
     ``trust_scale_actor``/``trust_scale_critic`` (K-FAC step rescale),
     ``episodes`` (finished so far), ``seed``, ``algorithm``, and
     ``wall_seconds``.
@@ -72,7 +74,13 @@ Record kinds
     :class:`repro.profiling.PhaseAccumulator` is attached): ``updates``
     plus wall-clock seconds per phase (``sim_advance``, ``obs_build``,
     ``policy_forward``, ``optimizer_update``); optionally ``seed`` and
-    ``wall_seconds``.  Purely timing-valued, so determinism checks drop
+    ``wall_seconds``.  ACKTR runs additionally carry the
+    optimizer-update sub-phase split (``fisher_stats``, ``grad_pass``,
+    ``inversion``, ``precondition`` — *busy* seconds per update thread,
+    so their sum may exceed ``optimizer_update`` wall time when the
+    actor/critic updates run concurrently) and ``stat_skips`` (updates
+    that skipped the Fisher-statistics refresh under ``stat_interval``
+    amortization).  Purely timing-valued, so determinism checks drop
     it entirely.
 
 ``note``

@@ -113,6 +113,37 @@ def _sim_lines(runs: List[Dict[str, Any]]) -> List[str]:
     return lines
 
 
+def _train_phase_lines(records: List[Dict[str, Any]]) -> List[str]:
+    from repro.profiling import OPTIMIZER_SUBPHASE_NAMES, PHASE_NAMES
+
+    totals = {
+        name: sum(float(r.get(name, 0.0)) for r in records)
+        for name in PHASE_NAMES
+    }
+    updates = sum(int(r["updates"]) for r in records)
+    total = sum(totals.values())
+    if total > 0.0:
+        rendered = " ".join(
+            f"{name}={seconds:.2f}s ({100.0 * seconds / total:.0f}%)"
+            for name, seconds in totals.items()
+        )
+    else:
+        rendered = " ".join(f"{name}=0.00s" for name in totals)
+    lines = [f"train phases: {updates} updates | {rendered}"]
+    subtotals = {
+        name: sum(float(r.get(name, 0.0)) for r in records)
+        for name in OPTIMIZER_SUBPHASE_NAMES
+    }
+    if any(subtotals.values()):
+        skips = sum(int(r.get("stat_skips", 0)) for r in records)
+        rendered = " ".join(
+            f"{name}={seconds:.2f}s" for name, seconds in subtotals.items()
+        )
+        suffix = f" | stat skips {skips}" if skips else ""
+        lines.append(f"  optimizer busy: {rendered}{suffix}")
+    return lines
+
+
 def summarize_run(directory: os.PathLike) -> str:
     """Validate and render one run directory's report.
 
@@ -212,4 +243,6 @@ def summarize_run(directory: os.PathLike) -> str:
     if phase_totals:
         rendered = " ".join(f"{k}={v:.2f}s" for k, v in phase_totals.items())
         lines.append(f"phases: {rendered}")
+    if "train_phases" in by_kind:
+        lines.extend(_train_phase_lines(by_kind["train_phases"]))
     return "\n".join(lines)

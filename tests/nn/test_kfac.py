@@ -228,3 +228,36 @@ class TestKFACExactness:
         kfac.step(grads)
         for orig, after in zip(before, grads):
             assert np.array_equal(orig, after)
+
+
+class TestInversionInterval:
+    def test_interval_longer_than_run_inverts_once(self):
+        """With inversion_interval beyond the step count, the first step
+        computes the factor inverses and every later step reuses them."""
+        rng = np.random.default_rng(11)
+        mlp = MLP(4, [8], 3, rng=0)
+        kfac = KFAC(mlp, inversion_interval=1000)
+        x = rng.normal(size=(16, 4))
+        fit_step(mlp, kfac, x, rng.normal(size=(16, 3)))
+        first_ids = [id(a) for a in kfac._A_inv] + [id(g) for g in kfac._G_inv]
+        for _ in range(4):
+            fit_step(mlp, kfac, x, rng.normal(size=(16, 3)))
+        assert kfac._steps == 5
+        later_ids = [id(a) for a in kfac._A_inv] + [id(g) for g in kfac._G_inv]
+        assert later_ids == first_ids, "inverses were recomputed mid-interval"
+
+    def test_grad_norm_recorded_pre_clip(self):
+        """last_grad_norm is the global norm *before* clipping."""
+        rng = np.random.default_rng(13)
+        mlp = MLP(4, [8], 3, rng=0)
+        kfac = KFAC(mlp, max_grad_norm=1e-3)  # small: clipping always fires
+        x = rng.normal(size=(16, 4))
+        out = mlp.forward(x)
+        mlp.backward(rng.normal(size=out.shape))
+        kfac.update_stats()
+        mlp.backward((out - rng.normal(size=out.shape)) / 16)
+        grads = mlp.gradients
+        expected = clip_grads_by_norm([g.copy() for g in grads], 1e-3)
+        kfac.step(grads)
+        assert kfac.last_grad_norm == expected
+        assert kfac.last_grad_norm > 1e-3

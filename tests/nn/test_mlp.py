@@ -204,3 +204,51 @@ class TestMLPInference:
         inference.forward(rng.normal(size=(7, 4)))  # interleaved inference
         mlp.backward(grad_out)
         assert all(np.array_equal(a, b) for a, b in zip(expected, mlp.gradients))
+
+
+class TestBackwardPair:
+    def test_bitwise_matches_two_serial_backwards(self):
+        """backward_pair(fisher, loss) must reproduce, bitwise, the caches
+        and gradients of backward(fisher) followed by backward(loss)."""
+        rng = np.random.default_rng(0)
+        batch = 16
+        fused = MLP(6, [8, 8], 3, rng=1)
+        ref = MLP(6, [8, 8], 3, rng=1)
+        x = rng.normal(size=(batch, 6))
+        fisher = rng.normal(size=(batch, 3))
+        loss = rng.normal(size=(batch, 3))
+        fused.forward(x)
+        ref.forward(x)
+        ref_fisher_dx = ref.backward(fisher)
+        ref_output_grads = [d.last_output_grad.copy() for d in ref.dense_layers]
+        ref_loss_dx = ref.backward(loss)
+        ref_grads = [g.copy() for g in ref.gradients]
+
+        dx_pair = fused.backward_pair(fisher, loss)
+        assert dx_pair.shape == (2 * batch, 6)
+        assert np.array_equal(dx_pair[:batch], ref_fisher_dx)
+        assert np.array_equal(dx_pair[batch:], ref_loss_dx)
+        for dense, og in zip(fused.dense_layers, ref_output_grads):
+            # K-FAC's G factor reads the *fisher* rows of the pair.
+            assert np.array_equal(dense.last_output_grad, og)
+        for a, b in zip(fused.gradients, ref_grads):
+            assert np.array_equal(a, b)
+
+    def test_pair_buffer_reused_across_calls(self):
+        rng = np.random.default_rng(2)
+        mlp = MLP(4, [8], 2, rng=0)
+        x = rng.normal(size=(8, 4))
+        mlp.forward(x)
+        mlp.backward_pair(rng.normal(size=(8, 2)), rng.normal(size=(8, 2)))
+        buf = mlp._pair_buffers[(16, 2)]
+        mlp.forward(x)
+        mlp.backward_pair(rng.normal(size=(8, 2)), rng.normal(size=(8, 2)))
+        assert mlp._pair_buffers[(16, 2)] is buf
+
+    def test_exactness_probe_caches(self):
+        from repro.nn.mlp import fused_backward_is_exact
+
+        first = fused_backward_is_exact(5, (8,), 3, 12)
+        second = fused_backward_is_exact(5, (8,), 3, 12)
+        assert isinstance(first, bool)
+        assert first == second

@@ -63,3 +63,99 @@ class TestACKTRTrainer:
         trainer.train(50)
         late = trainer.mean_recent_episode_reward(window=10)
         assert late > early + 5.0, f"no learning progress: {early} -> {late}"
+
+
+class TestOptimizerPathConfig:
+    def test_new_knob_defaults(self):
+        cfg = ACKTRConfig()
+        assert cfg.kfac_threads is None
+        assert cfg.stat_interval == 1
+        assert cfg.fused_backward == "auto"
+
+    def test_new_knob_validation(self):
+        with pytest.raises(ValueError, match="stat_interval"):
+            ACKTRConfig(stat_interval=0)
+        with pytest.raises(ValueError, match="kfac_threads"):
+            ACKTRConfig(kfac_threads=0)
+        with pytest.raises(ValueError, match="fused_backward"):
+            ACKTRConfig(fused_backward="maybe")
+
+    def test_resolve_kfac_threads(self, monkeypatch):
+        from repro.rl.acktr import resolve_kfac_threads
+
+        assert resolve_kfac_threads(3) == 3
+        monkeypatch.setenv("REPRO_KFAC_THREADS", "1")
+        assert resolve_kfac_threads(None) == 1
+        monkeypatch.delenv("REPRO_KFAC_THREADS")
+        # Adaptive default: 2 on multi-core hosts, 1 on single-core.
+        assert resolve_kfac_threads(None) in (1, 2)
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_kfac_threads(0)
+
+
+def _trained(updates=6, **overrides):
+    trainer = ACKTRTrainer(
+        lambda: ContextualBanditEnv(),
+        ACKTRConfig(n_steps=8, n_envs=2, **overrides),
+        seed=0,
+    )
+    trainer.train(updates)
+    params = (
+        trainer.policy.actor.copy_parameters()
+        + trainer.policy.critic.copy_parameters()
+    )
+    return trainer, params
+
+
+class TestOptimizerPathBitIdentity:
+    def test_threads2_matches_serial_bitwise(self):
+        """Concurrent actor/critic K-FAC updates must produce the exact
+        floats of the serial schedule — the dispatch overlaps work, it
+        never reorders arithmetic."""
+        _, serial = _trained(kfac_threads=1)
+        _, threaded = _trained(kfac_threads=2)
+        for a, b in zip(serial, threaded):
+            assert np.array_equal(a, b)
+
+    def test_fused_backward_matches_two_pass_bitwise(self):
+        """Where the runtime probe admits the fused dual backward, it must
+        be bitwise interchangeable with the serial two-pass schedule."""
+        t_on, fused = _trained(fused_backward="on")
+        t_off, serial = _trained(fused_backward="off")
+        assert t_on.fused_backward_active
+        assert not t_off.fused_backward_active
+        for a, b in zip(fused, serial):
+            assert np.array_equal(a, b)
+
+    def test_auto_probe_resolves(self):
+        trainer = ACKTRTrainer(
+            lambda: ContextualBanditEnv(),
+            ACKTRConfig(n_steps=4, n_envs=1),
+            seed=0,
+        )
+        assert isinstance(trainer.fused_backward_active, bool)
+
+
+class TestStatInterval:
+    def test_skip_cadence(self):
+        """stat_interval=3 over 7 updates refreshes the Fisher statistics
+        at updates 0, 3, 6 and skips the other four."""
+        trainer, _ = _trained(updates=7, stat_interval=3)
+        assert trainer.fisher_stat_skips == 4
+        assert trainer.actor_kfac._stat_updates == 3
+        assert trainer.critic_kfac._stat_updates == 3
+
+    def test_interval_one_never_skips(self):
+        trainer, _ = _trained(updates=5, stat_interval=1)
+        assert trainer.fisher_stat_skips == 0
+        assert trainer.actor_kfac._stat_updates == 5
+
+    def test_grad_norm_recorded(self):
+        trainer = ACKTRTrainer(
+            lambda: ContextualBanditEnv(),
+            ACKTRConfig(n_steps=8, n_envs=2),
+            seed=0,
+        )
+        stats = trainer.update()
+        assert stats.grad_norm > 0.0
+        assert stats.grad_norm == trainer.actor_kfac.last_grad_norm

@@ -101,3 +101,45 @@ class TestParallelRunner:
         buf = RolloutBuffer(4, 1, 1)
         runner.collect(buf)
         assert np.allclose(buf.dones[:, 0], [0.0, 1.0, 0.0, 1.0])
+
+
+class TestInferenceRouting:
+    def test_workspaces_attached_for_mlp_policy(self):
+        envs = [ContextualBanditEnv(num_states=3)]
+        _, runner = make_runner(envs)
+        assert runner._actor_inference is not None
+        assert runner._critic_inference is not None
+
+    def test_collect_bitwise_matches_policy_act_path(self):
+        """Routing rollouts through the MLPInference workspaces must
+        produce the exact actions, values, and bootstrap of policy.act."""
+        def build():
+            envs = [
+                ContextualBanditEnv(num_states=3, seed=i) for i in range(2)
+            ]
+            return make_runner(envs, n_steps=6, seed=3)
+
+        _, fast = build()
+        _, slow = build()
+        slow._actor_inference = None
+        slow._critic_inference = None
+
+        buf_fast = RolloutBuffer(6, 2, 3)
+        buf_slow = RolloutBuffer(6, 2, 3)
+        last_fast = fast.collect(buf_fast)
+        last_slow = slow.collect(buf_slow)
+        assert np.array_equal(buf_fast.actions, buf_slow.actions)
+        assert np.array_equal(buf_fast.values, buf_slow.values)
+        assert np.array_equal(buf_fast.obs, buf_slow.obs)
+        assert np.array_equal(last_fast, last_slow)
+
+    def test_bootstrap_values_are_owned_copies(self):
+        """The bootstrap must not alias the inference workspace (the next
+        forward would silently overwrite it)."""
+        envs = [ContextualBanditEnv(num_states=3)]
+        _, runner = make_runner(envs, n_steps=2)
+        buf = RolloutBuffer(2, 1, 3)
+        last = runner.collect(buf)
+        snapshot = last.copy()
+        runner.collect(RolloutBuffer(2, 1, 3))
+        assert np.array_equal(last, snapshot)
