@@ -7,9 +7,18 @@ unordered-set iteration, or a wall-clock read slips into a seeded code
 path.  This package enforces those invariants in two complementary ways:
 
 - :mod:`repro.analysis.linter` — an AST-based project linter
-  (``repro lint``) with repo-specific rules REP001–REP007, inline
-  ``# repro: allow[REPXXX] <reason>`` suppressions, and a committed
+  (``repro lint``) with repo-specific rules REP001–REP008, inline
+  ``# repro: allow[REPnnn] <reason>`` suppressions, and a committed
   baseline file for pre-existing debt.
+- :mod:`repro.analysis.flow` — a whole-program dataflow pass
+  (``repro lint --flow``) that builds a module-level call graph over
+  the lint roots and enforces the concurrency/determinism contract
+  (rules REP101–REP105: shared rng streams reachable from dispatched
+  tasks, fork-unsafe module state, aliased out= buffers, unordered
+  float reductions, captured-object mutation races).
+- :mod:`repro.analysis.sarif` / :mod:`repro.analysis.explain` —
+  SARIF 2.1.0 rendering for CI upload and ``repro lint --explain``
+  rule documentation.
 - :mod:`repro.analysis.invariants` — a runtime sanitizer:
   ``REPRO_CHECK_INVARIANTS=1`` routes simulator/state invariants
   (event-time monotonicity, capacity conservation, flow accounting,
@@ -24,14 +33,19 @@ from repro.analysis.invariants import (
     check,
     invariants_enabled,
 )
+from repro.analysis.explain import RULE_DOCS, render_explanation
+from repro.analysis.flow import analyze_paths
 from repro.analysis.linter import (
     Baseline,
     Finding,
+    FLOW_RULES,
     LintConfig,
     RULES,
     lint_paths,
     lint_source,
+    update_baseline,
 )
+from repro.analysis.sarif import render_sarif
 
 __all__ = [
     "InvariantViolation",
@@ -39,8 +53,14 @@ __all__ = [
     "invariants_enabled",
     "Baseline",
     "Finding",
+    "FLOW_RULES",
     "LintConfig",
     "RULES",
+    "RULE_DOCS",
+    "analyze_paths",
     "lint_paths",
     "lint_source",
+    "render_explanation",
+    "render_sarif",
+    "update_baseline",
 ]

@@ -1,0 +1,241 @@
+"""Rule documentation for ``repro lint --explain REPxxx``.
+
+Every rule in both families (file-local REP0xx and whole-program
+REP1xx) carries a rationale tied to the repo's determinism contract
+plus a minimal bad/good example pair.  A test asserts the table covers
+every id in ``RULES`` and ``FLOW_RULES`` so a new rule cannot ship
+undocumented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.linter import FLOW_RULES, RULES
+
+__all__ = ["RULE_DOCS", "RuleDoc", "render_explanation"]
+
+
+@dataclass(frozen=True)
+class RuleDoc:
+    """Human-facing documentation for one lint rule."""
+
+    rationale: str
+    bad: str
+    good: str
+
+
+RULE_DOCS: Dict[str, RuleDoc] = {
+    "REP001": RuleDoc(
+        rationale=(
+            "numpy.random.default_rng() / RandomState() / random.Random() "
+            "without an explicit seed pulls entropy from the OS, so the "
+            "stream differs every run and the result can never be "
+            "replayed; every generator in the seeded core must be "
+            "constructed from a seed that is itself derived from the run "
+            "configuration."
+        ),
+        bad="rng = np.random.default_rng()  # OS entropy",
+        good="rng = np.random.default_rng(config.seed)",
+    ),
+    "REP002": RuleDoc(
+        rationale=(
+            "The module-level global streams (np.random.normal, "
+            "random.random, np.random.seed) are shared by every caller in "
+            "the process, so the draw sequence depends on unrelated code "
+            "running first; per-component seeded Generators keep streams "
+            "isolated and replayable."
+        ),
+        bad="np.random.seed(0)\nx = np.random.normal()",
+        good="rng = np.random.default_rng(0)\nx = rng.normal()",
+    ),
+    "REP003": RuleDoc(
+        rationale=(
+            "Wall-clock and other nondeterministic reads (time.time, "
+            "datetime.now, uuid4) inside a seeded core package leak host "
+            "state into results; simulation time must come from the event "
+            "queue and identifiers from seeded counters so runs replay "
+            "bit-identically."
+        ),
+        bad="deadline = time.time() + flow.ttl",
+        good="deadline = sim.now + flow.ttl  # event-queue clock",
+    ),
+    "REP004": RuleDoc(
+        rationale=(
+            "Iterating a set or a dict .keys() view yields elements in "
+            "hash/insertion order, which PYTHONHASHSEED and code-path "
+            "history randomise between runs; any float accumulation or "
+            "ordered output built from the iteration is run-dependent.  "
+            "sorted() makes the traversal a pure function of the contents."
+        ),
+        bad="for flow in active_flows:  # a set\n    total += flow.demand",
+        good="for flow in sorted(active_flows, key=lambda f: f.flow_id):\n    total += flow.demand",
+    ),
+    "REP005": RuleDoc(
+        rationale=(
+            "Exact ==/!= between floats in library code encodes an "
+            "accident of rounding: the comparison flips when an upstream "
+            "computation is legitimately reordered (vectorised, fused), "
+            "turning a bit-identity refactor into a behaviour change.  "
+            "Compare against a tolerance, or restructure to avoid the "
+            "comparison."
+        ),
+        bad="if remaining == 0.0:\n    release(link)",
+        good="if abs(remaining) < 1e-12:\n    release(link)",
+    ),
+    "REP006": RuleDoc(
+        rationale=(
+            "A mutable default ([], {}, set()) is evaluated once at def "
+            "time and shared by every call, so state leaks across "
+            "invocations — and across workers that fork after the first "
+            "call populated it."
+        ),
+        bad="def collect(results=[]):\n    results.append(...)",
+        good="def collect(results=None):\n    results = [] if results is None else results",
+    ),
+    "REP007": RuleDoc(
+        rationale=(
+            "assert statements are stripped under python -O, so an "
+            "invariant guarded only by assert silently stops being "
+            "checked in optimised runs; library code raises a structured "
+            "exception (or routes through repro.analysis.invariants.check) "
+            "instead."
+        ),
+        bad="assert state.load >= 0, 'negative load'",
+        good="if state.load < 0:\n    raise InvariantViolation('negative load', context=...)",
+    ),
+    "REP008": RuleDoc(
+        rationale=(
+            "A waiver naming a rule id that does not exist suppresses "
+            "nothing and usually means a typo (REP105 vs REP150) — the "
+            "finding it was meant to silence is still live or the waiver "
+            "is dead weight; unknown ids are reported so waivers stay "
+            "honest."
+        ),
+        # NB: examples concatenated so this file's own source lines do
+        # not match the line-based waiver regex.
+        bad="# repro: " + "allow[REP150] overlap is disjoint\nbuf.fill(0)",
+        good="# repro: " + "allow[REP105] overlap is disjoint\nbuf.fill(0)",
+    ),
+    "REP101": RuleDoc(
+        rationale=(
+            "A generator shared with the main thread (self._rng, a module "
+            "global, or anything not constructed inside the task) makes "
+            "the draw order depend on the thread schedule; the repo's "
+            "contract is that all shared-stream draws happen in a serial "
+            "prologue before dispatch, and tasks that need randomness "
+            "seed their own generator.  For process pools only "
+            "module-global streams are flagged: captured objects are "
+            "pickled per worker, but a module global re-imports in the "
+            "worker with fresh (wrong) state."
+        ),
+        bad=(
+            "def task(self):\n"
+            "    return self.rng.normal()  # shared stream\n"
+            "executor.submit(self.task)"
+        ),
+        good=(
+            "noise = self.rng.normal()      # serial prologue\n"
+            "executor.submit(self.task, noise)\n"
+            "# or: task constructs rng = default_rng(seed) itself"
+        ),
+    ),
+    "REP102": RuleDoc(
+        rationale=(
+            "A module-level object written on a threaded path (a cached "
+            "executor, a results dict) survives fork() in a broken state: "
+            "the child inherits the parent's memory but none of its "
+            "threads.  Modules that mix threads with module state must "
+            "install an os.register_at_fork(after_in_child=...) hook that "
+            "resets the state, as rl/acktr.py does for its K-FAC executor."
+        ),
+        bad=(
+            "_EXECUTOR = None\n"
+            "def get_executor():\n"
+            "    global _EXECUTOR\n"
+            "    _EXECUTOR = ThreadPoolExecutor(1)"
+        ),
+        good=(
+            "def _reset_after_fork():\n"
+            "    global _EXECUTOR\n"
+            "    _EXECUTOR = None\n"
+            "os.register_at_fork(after_in_child=_reset_after_fork)"
+        ),
+    ),
+    "REP103": RuleDoc(
+        rationale=(
+            "Two in-flight tasks handed the same out= buffer (or any "
+            "buffer the task writes) race on its contents; whichever "
+            "finishes last wins, so results depend on scheduling.  Each "
+            "concurrent task needs a private buffer."
+        ),
+        bad=(
+            "f1 = ex.submit(work, scratch)\n"
+            "f2 = ex.submit(work, scratch)  # same buffer in flight"
+        ),
+        good=(
+            "f1 = ex.submit(work, scratch_a)\n"
+            "f2 = ex.submit(work, scratch_b)"
+        ),
+    ),
+    "REP104": RuleDoc(
+        rationale=(
+            "Float addition is not associative, so sum()/+= over a set, "
+            ".keys() view, or worker-merged iterable changes bitwise with "
+            "element order — and hash randomisation reorders sets every "
+            "run.  Sorting first fixes the summation order."
+        ),
+        bad="total = sum(delays)  # delays: Set[float]",
+        good="total = sum(sorted(delays))",
+    ),
+    "REP105": RuleDoc(
+        rationale=(
+            "An object captured by a submitted task is shared, not copied "
+            "(thread pools share references; even with process pools the "
+            "pickle happens at an unspecified point).  Mutating it between "
+            "submit() and result() races the task's reads.  Mutate after "
+            "the join, or pass a copy."
+        ),
+        bad=(
+            "future = ex.submit(consume, batch)\n"
+            "batch.clear()            # task may still be reading\n"
+            "future.result()"
+        ),
+        good=(
+            "future = ex.submit(consume, batch)\n"
+            "future.result()\n"
+            "batch.clear()            # after the join"
+        ),
+    ),
+}
+
+
+def render_explanation(rule: str) -> str:
+    """Full text block for one rule id; raises KeyError for unknown ids."""
+    rule = rule.upper()
+    all_rules = {**RULES, **FLOW_RULES}
+    if rule not in RULE_DOCS or rule not in all_rules:
+        known = ", ".join(sorted(set(all_rules) | set(RULE_DOCS)))
+        raise KeyError(f"unknown rule {rule!r}; known rules: {known}")
+    doc = RULE_DOCS[rule]
+    family = "whole-program (repro lint --flow)" if rule in FLOW_RULES else "file-local"
+    out = [
+        f"{rule}: {all_rules[rule]}",
+        f"family: {family}",
+        "",
+        "Why",
+        "---",
+        doc.rationale,
+        "",
+        "Bad",
+        "---",
+        doc.bad,
+        "",
+        "Good",
+        "----",
+        doc.good,
+        "",
+        f"Waive a confirmed-safe site with: # repro: allow[{rule}] <justification>",
+    ]
+    return "\n".join(out)

@@ -64,6 +64,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 __all__ = [
     "RULES",
+    "FLOW_RULES",
     "Finding",
     "LintConfig",
     "Baseline",
@@ -72,9 +73,10 @@ __all__ = [
     "render_text",
     "render_json",
     "run_lint",
+    "update_baseline",
 ]
 
-#: rule id -> one-line description (the linter's closed taxonomy).
+#: rule id -> one-line description (the file-local rule family).
 RULES: Dict[str, str] = {
     "REP001": "unseeded RNG construction (seed every stream explicitly)",
     "REP002": "legacy global-RNG call (use a local seeded Generator)",
@@ -83,6 +85,19 @@ RULES: Dict[str, str] = {
     "REP005": "exact float ==/!= comparison in non-test code",
     "REP006": "mutable default argument",
     "REP007": "bare assert in library code (stripped under -O)",
+    "REP008": "waiver comment names an unknown rule id",
+}
+
+#: rule id -> one-line description of the whole-program flow family
+#: (``repro lint --flow``, implemented in :mod:`repro.analysis.flow`).
+#: Declared here so the waiver scanner and ``--select`` validation know
+#: the full taxonomy without importing the flow analyzer.
+FLOW_RULES: Dict[str, str] = {
+    "REP101": "rng draw reachable from code dispatched to an executor/pool",
+    "REP102": "module state written on a threaded path without a fork-reset hook",
+    "REP103": "out= buffer shared by concurrent dispatch sites (may alias)",
+    "REP104": "order-sensitive float reduction over an unordered iterable",
+    "REP105": "object captured by a pool task is mutated after submission",
 }
 
 BASELINE_VERSION = 1
@@ -487,7 +502,11 @@ class _Visitor(ast.NodeVisitor):
 
 def _suppressed_rules(lines: Sequence[str], line: int) -> Set[str]:
     """Rules suppressed for 1-based ``line`` via ``# repro: allow[...]``
-    on the line itself or the line directly above."""
+    on the line itself or the line directly above.
+
+    A waiver never applies further than that one line below it — this is
+    the only scope in which a suppression is honoured.
+    """
     rules: Set[str] = set()
     for lineno in (line, line - 1):
         if 1 <= lineno <= len(lines):
@@ -497,6 +516,40 @@ def _suppressed_rules(lines: Sequence[str], line: int) -> Set[str]:
                     code.strip() for code in match.group(1).split(",") if code.strip()
                 )
     return rules
+
+
+def _unknown_waiver_findings(
+    lines: Sequence[str], path: str, config: LintConfig
+) -> List[Finding]:
+    """REP008: every rule id in a waiver comment must exist, so a typo'd
+    waiver fails loudly instead of silently suppressing nothing."""
+    if not config.enabled("REP008"):
+        return []
+    known = set(RULES) | set(FLOW_RULES)
+    findings: List[Finding] = []
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        unknown = [
+            code.strip()
+            for code in match.group(1).split(",")
+            if code.strip() and code.strip() not in known
+        ]
+        if unknown:
+            findings.append(
+                Finding(
+                    rule="REP008",
+                    path=path,
+                    line=lineno,
+                    col=match.start(),
+                    message=(
+                        f"waiver names unknown rule id(s) {', '.join(unknown)}; "
+                        "known rules are REP001-REP008 and REP101-REP105"
+                    ),
+                )
+            )
+    return findings
 
 
 def lint_source(
@@ -525,8 +578,9 @@ def lint_source(
     visitor.visit(tree)
 
     lines = source.splitlines()
+    raw = visitor.findings + _unknown_waiver_findings(lines, path, config)
     findings: List[Finding] = []
-    for finding in visitor.findings:
+    for finding in raw:
         if finding.rule in _suppressed_rules(lines, finding.line):
             continue
         text = lines[finding.line - 1].strip() if finding.line <= len(lines) else ""
@@ -657,15 +711,54 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding], baselined: int = 0) -> str:
+def render_json(
+    findings: Sequence[Finding],
+    baselined: int = 0,
+    rules: Optional[Dict[str, str]] = None,
+) -> str:
     payload = {
         "version": BASELINE_VERSION,
         "findings": [finding.to_json() for finding in findings],
         "count": len(findings),
         "baselined": baselined,
-        "rules": RULES,
+        "rules": rules if rules is not None else RULES,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def update_baseline(
+    findings: Sequence[Finding], path: Union[str, Path]
+) -> Tuple[int, int, int]:
+    """Prune stale entries from the baseline at ``path`` in place.
+
+    Keeps every entry whose fingerprint still matches a current finding
+    (count-capped, mirroring :meth:`Baseline.filter`), drops the rest,
+    and writes the file back.  *New* findings are deliberately not
+    absorbed — they must be fixed, waived inline, or accepted explicitly
+    with ``--write-baseline``.
+
+    Returns ``(kept, pruned, unbaselined)`` entry/finding counts.
+    """
+    target = Path(path)
+    old = Baseline.load(target) if target.exists() else Baseline()
+    remaining: Dict[str, int] = {}
+    for finding in findings:
+        fp = finding.fingerprint
+        remaining[fp] = remaining.get(fp, 0) + 1
+    kept: List[Dict[str, object]] = []
+    for entry in old.entries:
+        fp = str(entry["fingerprint"])
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            kept.append(entry)
+    counts: Dict[str, int] = {}
+    for entry in kept:
+        fp = str(entry["fingerprint"])
+        counts[fp] = counts.get(fp, 0) + 1
+    Baseline(counts=counts, entries=kept).save(target)
+    pruned = len(old.entries) - len(kept)
+    unbaselined = sum(remaining.values())
+    return len(kept), pruned, unbaselined
 
 
 def run_lint(
@@ -676,18 +769,32 @@ def run_lint(
     select: Sequence[str] = (),
     root: Optional[Union[str, Path]] = None,
     config: Optional[LintConfig] = None,
+    flow: bool = False,
+    refresh_baseline: bool = False,
 ) -> Tuple[int, str]:
     """CLI core: lint ``paths`` and return ``(exit_code, report_text)``.
 
+    ``flow`` additionally runs the whole-program concurrency/determinism
+    pass (rules REP101-REP105, :mod:`repro.analysis.flow`) over the same
+    paths; its findings share the waiver and baseline machinery.
+
     ``write_baseline`` records the current findings as accepted debt
-    (exit 0).  Otherwise findings surviving the baseline give exit 1.
+    (exit 0); ``refresh_baseline`` prunes stale baseline entries without
+    absorbing new findings.  Otherwise findings surviving the baseline
+    give exit 1.
     """
-    unknown = [rule for rule in select if rule not in RULES]
+    known_rules = {**RULES, **FLOW_RULES}
+    unknown = [rule for rule in select if rule not in known_rules]
     if unknown:
         raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
     if config is None:
         config = LintConfig(select=tuple(select))
     findings = lint_paths(paths, config=config, root=root)
+    if flow:
+        from repro.analysis.flow import analyze_paths
+
+        findings.extend(analyze_paths(paths, root=root, select=tuple(select)))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 
     if write_baseline:
         target = baseline_path or DEFAULT_BASELINE_NAME
@@ -696,6 +803,19 @@ def run_lint(
             f"repro lint: wrote baseline with {len(findings)} finding(s) "
             f"to {target}"
         )
+    if refresh_baseline:
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        kept, pruned, unbaselined = update_baseline(findings, target)
+        message = (
+            f"repro lint: baseline {target}: kept {kept} entr(y/ies), "
+            f"pruned {pruned} stale"
+        )
+        if unbaselined:
+            message += (
+                f"; {unbaselined} finding(s) remain unbaselined "
+                "(fix, waive inline, or accept with --write-baseline)"
+            )
+        return 0, message
 
     baselined = 0
     if baseline_path is not None and Path(baseline_path).exists():
@@ -704,8 +824,13 @@ def run_lint(
         findings = baseline.filter(findings)
         baselined = before - len(findings)
 
+    report_rules = known_rules if flow else RULES
     if output_format == "json":
-        report = render_json(findings, baselined=baselined)
+        report = render_json(findings, baselined=baselined, rules=report_rules)
+    elif output_format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        report = render_sarif(findings, rules=report_rules)
     else:
         report = render_text(findings)
         if baselined:

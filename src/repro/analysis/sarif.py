@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 rendering for lint findings.
+
+Minimal but schema-valid output so CI can upload the report as an
+artifact (and code-scanning UIs can ingest it): one run, one tool
+driver (``repro-lint``), a ``rules`` array covering every rule id the
+invocation could emit, and one ``result`` per finding with a physical
+location and the linter's stable fingerprint (the same sha1 the
+baseline machinery uses, exposed under ``partialFingerprints`` so
+baseline state and SARIF state agree on identity).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.linter import RULES, Finding
+
+__all__ = ["SARIF_VERSION", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    rules: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render findings as a SARIF 2.1.0 JSON document.
+
+    ``rules`` maps rule id -> short description for the driver's rule
+    table; defaults to the file-local REP0xx rules.  Rule ids seen in
+    findings but missing from ``rules`` are still added to the table so
+    the document never references an undeclared rule.
+    """
+    rule_table: Dict[str, str] = dict(RULES if rules is None else rules)
+    results = []
+    for finding in findings:
+        rule_table.setdefault(finding.rule, finding.message)
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reproLintFingerprint/v1": finding.fingerprint
+                },
+            }
+        )
+    document = {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {"text": text},
+                            }
+                            for rule_id, text in sorted(rule_table.items())
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -165,13 +165,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the determinism linter (rules REP001-REP007) over the project",
+        help="run the determinism linter (rules REP001-REP008, "
+             "--flow adds REP101-REP105) over the project",
     )
     lint.add_argument("paths", nargs="*", default=["src/repro", "benchmarks"],
                       help="files or directories to lint "
                            "(default: src/repro benchmarks)")
-    lint.add_argument("--format", choices=["text", "json"], default="text",
+    lint.add_argument("--format", choices=["text", "json", "sarif"], default="text",
                       help="report format")
+    lint.add_argument("--output", default=None, metavar="FILE",
+                      help="write the report to FILE instead of stdout "
+                           "(a one-line summary is still printed)")
     lint.add_argument("--baseline", default=None, metavar="FILE",
                       help="baseline file of accepted findings "
                            "(default: .repro-lint-baseline.json when present)")
@@ -179,8 +183,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="ignore any baseline file and report all findings")
     lint.add_argument("--write-baseline", action="store_true",
                       help="record the current findings as the new baseline")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="prune stale entries from the existing baseline "
+                           "(never absorbs new findings)")
     lint.add_argument("--select", default=None, metavar="RULES",
                       help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--flow", action="store_true",
+                      help="also run the whole-program concurrency/determinism "
+                           "dataflow pass (rules REP101-REP105)")
+    lint.add_argument("--explain", default=None, metavar="RULE",
+                      help="print the rationale and a bad/good example for a "
+                           "rule id (e.g. REP101), then exit")
 
     telemetry = sub.add_parser(
         "telemetry", help="inspect structured telemetry from a previous run"
@@ -347,6 +360,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     from repro.analysis.linter import DEFAULT_BASELINE_NAME, run_lint
 
+    if args.explain is not None:
+        from repro.analysis.explain import render_explanation
+
+        try:
+            print(render_explanation(args.explain))
+        except KeyError as exc:
+            print(exc.args[0])
+            return 2
+        return 0
+
     baseline = args.baseline
     if baseline is None and not args.no_baseline:
         # Pick up the committed baseline when linting from the repo root.
@@ -363,8 +386,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         baseline_path=baseline,
         write_baseline=args.write_baseline,
         select=select,
+        flow=args.flow,
+        refresh_baseline=args.update_baseline,
     )
-    print(report)
+    if args.output is not None:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        status = "clean" if code == 0 else "findings present"
+        print(f"lint report ({args.format}) written to {args.output}: {status}")
+    else:
+        print(report)
     return code
 
 

@@ -319,6 +319,7 @@ class ACKTRTrainer(A2CTrainer):
                 self._network_update,
                 self.policy.actor, self.actor_kfac, fisher_grad, dlogits,
             )
+            # repro: allow[REP105] in-flight actor task touches only actor-side state; critic_kfac is disjoint
             critic_times = self._network_update(
                 self.policy.critic, self.critic_kfac, noise, dvalues
             )

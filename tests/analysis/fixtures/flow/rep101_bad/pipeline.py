@@ -1,0 +1,26 @@
+"""Known-bad REP101: a thread-dispatched task reaches a shared rng.
+
+``Pipeline.step`` is submitted to the executor and calls
+``worker.scale_batch`` passing ``self.rng`` — the draw inside the task
+consumes the object-shared stream, so draw order depends on the thread
+schedule.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from worker import scale_batch
+
+
+class Pipeline:
+    def __init__(self, seed):
+        self.rng = np.random.default_rng(seed)
+        self.pool = ThreadPoolExecutor(max_workers=2)
+
+    def run(self, batch):
+        future = self.pool.submit(self.step, batch)
+        return future.result()
+
+    def step(self, batch):
+        return scale_batch(batch, self.rng)

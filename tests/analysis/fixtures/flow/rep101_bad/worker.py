@@ -1,0 +1,6 @@
+"""Helper drawing from whatever generator flows in as a parameter."""
+
+
+def scale_batch(batch, rng):
+    noise = rng.normal(size=len(batch))
+    return [value + eps for value, eps in zip(batch, noise)]

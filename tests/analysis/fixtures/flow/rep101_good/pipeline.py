@@ -1,0 +1,23 @@
+"""Known-good twin of rep101_bad: the task seeds its own generator.
+
+``worker.scale_batch`` constructs a task-local rng from a plain seed,
+so the call graph reaches only a ``local``-kind draw — schedule cannot
+reorder a stream no other thread holds.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from worker import scale_batch
+
+
+class Pipeline:
+    def __init__(self, seed):
+        self.seed = seed
+        self.pool = ThreadPoolExecutor(max_workers=2)
+
+    def run(self, batch):
+        future = self.pool.submit(self.step, batch)
+        return future.result()
+
+    def step(self, batch):
+        return scale_batch(batch, self.seed)

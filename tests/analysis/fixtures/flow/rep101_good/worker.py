@@ -1,0 +1,9 @@
+"""Task-local generator: seeded inside the dispatched call graph."""
+
+import numpy as np
+
+
+def scale_batch(batch, seed):
+    rng = np.random.default_rng(seed)
+    noise = rng.normal(size=len(batch))
+    return [value + eps for value, eps in zip(batch, noise)]

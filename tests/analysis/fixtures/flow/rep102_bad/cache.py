@@ -1,0 +1,23 @@
+"""Known-bad REP102: module state written on a threaded path, no hook.
+
+``record`` is dispatched to a thread pool and writes the module-level
+``_RESULTS`` dict; the module installs no ``os.register_at_fork`` reset,
+so a forked worker inherits the parent's half-written state (and any
+executor machinery) with none of its threads.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+_RESULTS = {}
+
+
+def record(key, value):
+    _RESULTS[key] = value
+
+
+def run_all(items):
+    pool = ThreadPoolExecutor(max_workers=2)
+    futures = [pool.submit(record, key, value) for key, value in items]
+    for future in futures:
+        future.result()
+    return dict(_RESULTS)

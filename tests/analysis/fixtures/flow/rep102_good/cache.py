@@ -1,0 +1,25 @@
+"""Known-good twin of rep102_bad: a fork hook resets the module state."""
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+_RESULTS = {}
+
+
+def _reset_after_fork():
+    _RESULTS.clear()
+
+
+os.register_at_fork(after_in_child=_reset_after_fork)
+
+
+def record(key, value):
+    _RESULTS[key] = value
+
+
+def run_all(items):
+    pool = ThreadPoolExecutor(max_workers=2)
+    futures = [pool.submit(record, key, value) for key, value in items]
+    for future in futures:
+        future.result()
+    return dict(_RESULTS)

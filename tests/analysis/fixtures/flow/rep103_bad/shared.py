@@ -1,0 +1,22 @@
+"""Known-bad REP103: two in-flight tasks share one out= buffer.
+
+Both submits capture ``scratch`` and ``square_into`` writes its ``out``
+parameter, so the concurrent tasks race on the buffer's contents.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+
+def square_into(values, out):
+    np.multiply(values, values, out=out)
+    return out
+
+
+def run(batch_a, batch_b):
+    pool = ThreadPoolExecutor(max_workers=2)
+    scratch = np.empty(8)
+    first = pool.submit(square_into, batch_a, scratch)
+    second = pool.submit(square_into, batch_b, scratch)
+    return first.result() + second.result()

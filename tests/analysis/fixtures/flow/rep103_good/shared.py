@@ -1,0 +1,19 @@
+"""Known-good twin of rep103_bad: each task owns a private buffer."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+
+def square_into(values, out):
+    np.multiply(values, values, out=out)
+    return out
+
+
+def run(batch_a, batch_b):
+    pool = ThreadPoolExecutor(max_workers=2)
+    scratch_a = np.empty(8)
+    scratch_b = np.empty(8)
+    first = pool.submit(square_into, batch_a, scratch_a)
+    second = pool.submit(square_into, batch_b, scratch_b)
+    return first.result() + second.result()

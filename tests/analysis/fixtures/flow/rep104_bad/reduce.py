@@ -1,0 +1,16 @@
+"""Known-bad REP104: order-sensitive float reductions over unordered
+iterables — ``sum()`` over a ``.keys()`` view and a ``+=`` accumulation
+inside a loop over the same view.  Hash randomisation reorders the
+summands between runs and float addition does not commute bitwise.
+"""
+
+
+def total_delay(by_flow):
+    return sum(by_flow.keys())
+
+
+def merge(by_flow):
+    total = 0.0
+    for key in by_flow.keys():
+        total += by_flow[key]
+    return total

@@ -1,0 +1,15 @@
+"""Known-bad REP105: a captured object is mutated while the task that
+holds it is still in flight (between ``submit`` and ``result``)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def consume(batch):
+    return list(batch)
+
+
+def run(batch):
+    pool = ThreadPoolExecutor(max_workers=2)
+    future = pool.submit(consume, batch)
+    batch.append(0.0)
+    return future.result()

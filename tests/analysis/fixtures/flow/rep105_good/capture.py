@@ -1,0 +1,16 @@
+"""Known-good twin of rep105_bad: the mutation happens after the join,
+when no task can still be reading the object."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def consume(batch):
+    return list(batch)
+
+
+def run(batch):
+    pool = ThreadPoolExecutor(max_workers=2)
+    future = pool.submit(consume, batch)
+    result = future.result()
+    batch.append(0.0)
+    return result

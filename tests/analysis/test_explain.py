@@ -1,0 +1,45 @@
+"""Tests for ``repro lint --explain``: every rule documented, rendering
+complete, unknown ids rejected with the known-rule list."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.explain import RULE_DOCS, render_explanation
+from repro.analysis.linter import FLOW_RULES, RULES
+
+
+class TestCoverage:
+    def test_every_rule_id_is_documented(self):
+        assert set(RULE_DOCS) == set(RULES) | set(FLOW_RULES)
+
+    @pytest.mark.parametrize("rule", sorted(set(RULES) | set(FLOW_RULES)))
+    def test_doc_fields_are_nonempty(self, rule):
+        doc = RULE_DOCS[rule]
+        assert doc.rationale.strip()
+        assert doc.bad.strip()
+        assert doc.good.strip()
+
+
+class TestRender:
+    @pytest.mark.parametrize("rule", sorted(set(RULES) | set(FLOW_RULES)))
+    def test_render_contains_all_sections(self, rule):
+        text = render_explanation(rule)
+        assert text.startswith(f"{rule}:")
+        for section in ("Why", "Bad", "Good"):
+            assert section in text
+        assert f"allow[{rule}]" in text
+
+    def test_family_line_distinguishes_flow_rules(self):
+        assert "whole-program" in render_explanation("REP101")
+        assert "file-local" in render_explanation("REP004")
+
+    def test_lowercase_input_accepted(self):
+        assert render_explanation("rep101").startswith("REP101:")
+
+    def test_unknown_rule_raises_with_known_list(self):
+        with pytest.raises(KeyError) as excinfo:
+            render_explanation("REP999")
+        message = excinfo.value.args[0]
+        assert "REP999" in message
+        assert "REP101" in message  # known rules listed

@@ -182,3 +182,211 @@ class TestSelfLint:
             env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
         )
         assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestSarifFormat:
+    def test_sarif_document_shape(self, bad_tree):
+        code, report = run_lint(
+            [str(bad_tree)], output_format="sarif", root=bad_tree
+        )
+        doc = json.loads(report)
+        assert code == 1
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert "REP001" in rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "REP001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "pkg/bad.py"
+        assert location["region"]["startLine"] == 3
+        assert "reproLintFingerprint/v1" in result["partialFingerprints"]
+
+    def test_sarif_with_flow_declares_flow_rules(self, bad_tree):
+        _, report = run_lint(
+            [str(bad_tree)], output_format="sarif", root=bad_tree, flow=True
+        )
+        doc = json.loads(report)
+        rule_ids = {rule["id"] for rule in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"REP101", "REP102", "REP103", "REP104", "REP105"} <= rule_ids
+
+    def test_clean_tree_sarif_has_no_results(self, tmp_path):
+        (tmp_path / "ok.py").write_text(CLEAN_MODULE)
+        code, report = run_lint(
+            [str(tmp_path)], output_format="sarif", root=tmp_path
+        )
+        assert code == 0
+        assert json.loads(report)["runs"][0]["results"] == []
+
+
+class TestUpdateBaseline:
+    def test_stale_entries_are_pruned(self, bad_tree, tmp_path):
+        baseline = tmp_path / "b.json"
+        run_lint(
+            [str(bad_tree)],
+            baseline_path=str(baseline),
+            write_baseline=True,
+            root=bad_tree,
+        )
+        assert json.loads(baseline.read_text())["entries"]
+        # The file stops violating: the entry is now stale.
+        (bad_tree / "pkg" / "bad.py").write_text(CLEAN_MODULE)
+        code, report = run_lint(
+            [str(bad_tree)],
+            baseline_path=str(baseline),
+            refresh_baseline=True,
+            root=bad_tree,
+        )
+        assert code == 0
+        assert "pruned 1" in report
+        assert json.loads(baseline.read_text())["entries"] == []
+
+    def test_live_entries_are_kept(self, bad_tree, tmp_path):
+        baseline = tmp_path / "b.json"
+        run_lint(
+            [str(bad_tree)],
+            baseline_path=str(baseline),
+            write_baseline=True,
+            root=bad_tree,
+        )
+        code, report = run_lint(
+            [str(bad_tree)],
+            baseline_path=str(baseline),
+            refresh_baseline=True,
+            root=bad_tree,
+        )
+        assert code == 0
+        assert "kept 1" in report and "pruned 0" in report
+        # The kept entry still masks the finding on a normal run.
+        code, _ = run_lint(
+            [str(bad_tree)], baseline_path=str(baseline), root=bad_tree
+        )
+        assert code == 0
+
+    def test_never_absorbs_new_findings(self, bad_tree, tmp_path):
+        baseline = tmp_path / "b.json"
+        baseline.write_text('{"entries": [], "version": 1}\n')
+        code, report = run_lint(
+            [str(bad_tree)],
+            baseline_path=str(baseline),
+            refresh_baseline=True,
+            root=bad_tree,
+        )
+        assert code == 0
+        assert "remain unbaselined" in report
+        assert json.loads(baseline.read_text())["entries"] == []
+        # The new finding still fails a normal run afterwards.
+        code, _ = run_lint(
+            [str(bad_tree)], baseline_path=str(baseline), root=bad_tree
+        )
+        assert code == 1
+
+    def test_cli_update_baseline_flag(self, bad_tree, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        assert main(
+            ["lint", str(bad_tree), "--baseline", str(baseline),
+             "--write-baseline"]
+        ) == 0
+        (bad_tree / "pkg" / "bad.py").write_text(CLEAN_MODULE)
+        assert main(
+            ["lint", str(bad_tree), "--baseline", str(baseline),
+             "--update-baseline"]
+        ) == 0
+        assert "pruned 1" in capsys.readouterr().out
+
+
+class TestUnknownWaiverRule:
+    def test_rep008_fires_on_unknown_rule_id(self):
+        findings = lint_source(
+            "x = 1  # repro: allow[REP999] typo\n", path="pkg/mod.py"
+        )
+        assert [f.rule for f in findings] == ["REP008"]
+        assert "REP999" in findings[0].message
+
+    def test_flow_rule_ids_are_known_to_the_waiver_scanner(self):
+        findings = lint_source(
+            "x = 1  # repro: allow[REP105] future-proof\n", path="pkg/mod.py"
+        )
+        assert findings == []
+
+    def test_mixed_known_and_unknown_ids_reported_once(self):
+        findings = lint_source(
+            "x = 1  # repro: allow[REP001, REP150] half typo\n",
+            path="pkg/mod.py",
+        )
+        assert [f.rule for f in findings] == ["REP008"]
+        assert "REP150" in findings[0].message
+        assert "REP001" not in findings[0].message.split(";")[0]
+
+
+class TestFlowCli:
+    FIXTURES = REPO_ROOT / "tests" / "analysis" / "fixtures" / "flow"
+
+    def test_flow_flag_surfaces_flow_findings(self, capsys):
+        code = main(
+            ["lint", str(self.FIXTURES / "rep105_bad"), "--flow",
+             "--no-baseline", "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert "REP105" in [f["rule"] for f in payload["findings"]]
+        assert "REP105" in payload["rules"]
+
+    def test_without_flow_flag_flow_rules_stay_silent(self, capsys):
+        code = main(
+            ["lint", str(self.FIXTURES / "rep105_bad"), "--no-baseline",
+             "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert "REP105" not in [f["rule"] for f in payload["findings"]]
+        assert code == 0
+
+    def test_flow_select_filters_flow_rules(self, capsys):
+        code = main(
+            ["lint", str(self.FIXTURES / "rep105_bad"), "--flow",
+             "--select", "REP101", "--no-baseline", "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["findings"] == []
+
+    def test_explain_known_rule(self, capsys):
+        assert main(["lint", "--explain", "REP103"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("REP103:")
+        assert "Bad" in out and "Good" in out
+
+    def test_explain_unknown_rule(self, capsys):
+        assert main(["lint", "--explain", "REP999"]) == 2
+        assert "known rules" in capsys.readouterr().out
+
+    def test_output_file_writes_report(self, bad_tree, tmp_path, capsys):
+        out_file = tmp_path / "report.sarif"
+        code = main(
+            ["lint", str(bad_tree), "--format", "sarif", "--output",
+             str(out_file), "--no-baseline"]
+        )
+        assert code == 1
+        assert "written to" in capsys.readouterr().out
+        doc = json.loads(out_file.read_text())
+        assert doc["runs"][0]["results"]
+
+
+class TestSelfFlowLint:
+    """The CI lint-flow invocation must be clean on the repository."""
+
+    def test_flow_module_invocation_is_clean(self, tmp_path):
+        sarif_path = tmp_path / "lint-flow.sarif"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "src/repro", "benchmarks",
+             "--flow", "--format", "sarif", "--output", str(sarif_path)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        doc = json.loads(sarif_path.read_text())
+        assert doc["runs"][0]["results"] == []

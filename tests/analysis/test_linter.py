@@ -23,8 +23,8 @@ def lint(source: str, path: str = "src/repro/rl/example.py") -> List[Finding]:
 
 
 class TestRuleTable:
-    def test_all_seven_rules_registered(self):
-        assert sorted(RULES) == [f"REP00{i}" for i in range(1, 8)]
+    def test_all_eight_rules_registered(self):
+        assert sorted(RULES) == [f"REP00{i}" for i in range(1, 9)]
 
     def test_descriptions_are_nonempty(self):
         assert all(RULES[rule] for rule in RULES)
