@@ -40,6 +40,23 @@ def _add_eval_batch_arg(parser: argparse.ArgumentParser) -> None:
                              "(default: $REPRO_EVAL_BATCH, else serial)")
 
 
+def _add_eval_dtype_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--eval-dtype", choices=["f64", "f32"], default=None,
+                        help="inference dtype: f64 = bit-identical to the "
+                             "serial reference (default), f32 = fast mode "
+                             "(default: $REPRO_EVAL_DTYPE, else f64)")
+
+
+def _resolved_eval_dtype(args: argparse.Namespace) -> str:
+    """The effective ``"f64"``/``"f32"`` spelling (flag, else env var)."""
+    import numpy as np
+
+    from repro.rl.batched import resolve_eval_dtype
+
+    dtype = resolve_eval_dtype(getattr(args, "eval_dtype", None))
+    return "f32" if dtype == np.dtype(np.float32) else "f64"
+
+
 def _add_optimizer_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--kfac-threads", type=int, default=None,
                         help="ACKTR actor/critic update concurrency; 1 = "
@@ -139,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--quiet", action="store_true")
     _add_workers_arg(train)
     _add_eval_batch_arg(train)
+    _add_eval_dtype_arg(train)
     _add_optimizer_args(train)
     _add_telemetry_arg(train)
 
@@ -151,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--eval-seeds", type=int, default=3,
                           help="number of traffic realisations")
     _add_workers_arg(evaluate)
+    _add_eval_dtype_arg(evaluate)
     _add_telemetry_arg(evaluate)
 
     compare = sub.add_parser("compare", help="train + compare all four algorithms")
@@ -160,8 +179,41 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--eval-seeds", type=int, default=3)
     _add_workers_arg(compare)
     _add_eval_batch_arg(compare)
+    _add_eval_dtype_arg(compare)
     _add_optimizer_args(compare)
     _add_telemetry_arg(compare)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive the online decision-serving engine (micro-batching, "
+             "hot-swap, latency SLO) through a load-generated workload",
+    )
+    _add_scenario_args(serve)
+    serve.add_argument("--policy", default=None,
+                       help="trained policy (.npz); default: an untrained "
+                            "seed-0 network of the scenario's dimensions")
+    serve.add_argument("--requests", type=int, default=2000,
+                       help="requests to generate")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="open-loop Poisson arrival rate in requests/sec; "
+                            "0 = closed-loop saturation (peak throughput)")
+    serve.add_argument("--serve-batch", type=int, default=32,
+                       help="micro-batch flush size B")
+    serve.add_argument("--serve-deadline-ms", type=float, default=2.0,
+                       help="micro-batch latency deadline D in milliseconds")
+    serve.add_argument("--queue-capacity", type=int, default=None,
+                       help="queue-depth cap before load shedding "
+                            "(default: 4x --serve-batch)")
+    serve.add_argument("--swap-every", type=int, default=0,
+                       help="hot-swap a cloned policy every N submissions "
+                            "(0 = never); exercises flush-boundary swaps")
+    serve.add_argument("--arrival-seed", type=int, default=0,
+                       help="seed of the Poisson arrival process")
+    serve.add_argument("--pool", type=int, default=256,
+                       help="observation vectors harvested from the scenario "
+                            "as request payloads")
+    _add_eval_dtype_arg(serve)
+    _add_telemetry_arg(serve)
 
     lint = sub.add_parser(
         "lint",
@@ -237,6 +289,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         eval_episodes=args.eval_episodes,
         workers=args.workers,
         eval_batch=args.eval_batch,
+        eval_dtype=_resolved_eval_dtype(args),
         kfac_threads=args.kfac_threads,
         stat_interval=args.stat_interval,
     )
@@ -273,7 +326,11 @@ def _build_policy(args: argparse.Namespace, scenario):
     if args.policy is not None:
         trained = ActorCriticPolicy.load(args.policy)
         return partial(
-            DistributedCoordinator, scenario.network, scenario.catalog, trained
+            DistributedCoordinator,
+            scenario.network,
+            scenario.catalog,
+            trained,
+            dtype=_resolved_eval_dtype(args),
         )
     if args.algorithm == "sp":
         return partial(ShortestPathPolicy, scenario.network, scenario.catalog)
@@ -325,6 +382,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             n_steps=64,
             workers=args.workers,
             eval_batch=args.eval_batch,
+            eval_dtype=_resolved_eval_dtype(args),
             kfac_threads=args.kfac_threads,
             stat_interval=args.stat_interval,
         ),
@@ -350,6 +408,63 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(f"{name:<18} {success:>14} {fmt(r.mean_delay, '.1f'):>10}")
     if suite.last_timing is not None:
         print(suite.last_timing.render())
+    if run is not None:
+        print(f"Telemetry written to {run.directory}")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.core.env import ServiceCoordinationEnv
+    from repro.rl.policy import ActorCriticPolicy
+    from repro.serving import (
+        ServingConfig,
+        collect_observation_pool,
+        serve_workload,
+    )
+    from repro.telemetry import NULL_RECORDER
+
+    scenario = _scenario_from_args(args)
+    if args.policy is not None:
+        policy = ActorCriticPolicy.load(args.policy)
+    else:
+        probe = ServiceCoordinationEnv(scenario, seed=0)
+        policy = ActorCriticPolicy(probe.observation_size, probe.num_actions, rng=0)
+    observations = collect_observation_pool(scenario, policy, args.pool)
+    config = ServingConfig(
+        max_batch=args.serve_batch,
+        deadline_s=args.serve_deadline_ms / 1000.0,
+        queue_capacity=args.queue_capacity,
+        dtype=_resolved_eval_dtype(args),
+    )
+    run = _start_telemetry(args, "serve-bench")
+    try:
+        engine = serve_workload(
+            policy,
+            observations,
+            requests=args.requests,
+            rate=args.rate if args.rate > 0.0 else None,
+            config=config,
+            arrival_seed=args.arrival_seed,
+            swap_every=args.swap_every,
+            recorder=run.recorder if run else NULL_RECORDER,
+        )
+    finally:
+        if run is not None:
+            run.close()
+    stats = engine.stats
+    mode = f"open loop @ {args.rate:.0f} req/s" if args.rate > 0.0 else "saturation"
+    print(f"serve-bench: {mode} | batch {config.max_batch} "
+          f"deadline {args.serve_deadline_ms:.1f}ms dtype {config.dtype}")
+    print(f"  requests {stats.submitted} served {stats.served} "
+          f"shed {stats.shed} | {stats.flushes} flushes "
+          f"(size {stats.size_flushes} deadline {stats.deadline_flushes} "
+          f"forced {stats.forced_flushes}) mean batch {stats.mean_batch:.1f}")
+    print(f"  throughput {stats.decisions_per_second:.0f} decisions/s | "
+          f"swaps {stats.swaps} (policy version {engine.policy_version})")
+    pct = stats.latency_percentiles_ms()
+    if stats.latencies:
+        print(f"  latency p50 {pct['p50']:.2f}ms p95 {pct['p95']:.2f}ms "
+              f"p99 {pct['p99']:.2f}ms max {pct['max']:.2f}ms")
     if run is not None:
         print(f"Telemetry written to {run.directory}")
     return 0
@@ -412,6 +527,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
         "compare": _cmd_compare,
+        "serve-bench": _cmd_serve_bench,
         "lint": _cmd_lint,
         "telemetry": _cmd_telemetry,
     }

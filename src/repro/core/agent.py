@@ -10,11 +10,12 @@ doubles as a simulator policy callable.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from repro.core.observations import ObservationAdapter
+from repro.nn.mlp import MLPInference
 from repro.rl.policy import ActorCriticPolicy
 from repro.services.service import ServiceCatalog
 from repro.sim.simulator import DecisionPoint, Simulator
@@ -38,6 +39,12 @@ class NodeAgent:
         deterministic: Greedy (argmax) actions when True — the default for
             online inference; sampling is used during training only.
         rng: Generator for stochastic action selection.
+        dtype: Inference dtype.  Float64 (default) runs the exact
+            historical ``act_single`` path; float32 routes decisions
+            through a workspace-backed batch-1
+            :class:`~repro.nn.mlp.MLPInference` forward (fast mode, last
+            ulps may differ).  Stochastic float32 sampling consumes the
+            rng stream in the same ``(1, K)`` draws as the serial path.
     """
 
     def __init__(
@@ -47,12 +54,21 @@ class NodeAgent:
         adapter: ObservationAdapter,
         deterministic: bool = True,
         rng: Optional[np.random.Generator] = None,
+        dtype: Any = np.float64,
     ) -> None:
+        from repro.rl.batched import resolve_eval_dtype
+
         self.node = node
         self.policy = policy
         self.adapter = adapter
         self.deterministic = deterministic
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.dtype = resolve_eval_dtype(dtype)
+        self._inference: Optional[MLPInference] = (
+            None
+            if self.dtype == np.dtype(np.float64)
+            else policy.actor_inference(dtype=self.dtype)
+        )
         #: Decisions taken by this agent (per-node load statistics).
         self.decisions_taken = 0
 
@@ -64,9 +80,17 @@ class NodeAgent:
             )
         observation = self.adapter.build(decision, sim)
         self.decisions_taken += 1
-        return self.policy.act_single(
-            observation, rng=self.rng, deterministic=self.deterministic
+        if self._inference is None:
+            return self.policy.act_single(
+                observation, rng=self.rng, deterministic=self.deterministic
+            )
+        logits = self._inference.forward(
+            np.asarray(observation, dtype=np.float64)[None, :]
         )
+        if self.deterministic:
+            return int(np.argmax(logits[0]))
+        gumbel = -np.log(-np.log(self.rng.uniform(1e-12, 1.0, size=logits.shape)))
+        return int(np.argmax(logits[0] + gumbel[0]))
 
 
 class DistributedCoordinator:
@@ -83,6 +107,8 @@ class DistributedCoordinator:
         policy: The trained policy selected by multi-seed training.
         deterministic: Greedy decisions (default for inference).
         seed: Base seed for per-agent stochastic sampling.
+        dtype: Per-agent inference dtype (``"f64"``/``"f32"`` or a numpy
+            dtype) — see :class:`NodeAgent`.
     """
 
     def __init__(
@@ -92,9 +118,13 @@ class DistributedCoordinator:
         policy: ActorCriticPolicy,
         deterministic: bool = True,
         seed: int = 0,
+        dtype: Any = np.float64,
     ) -> None:
+        from repro.rl.batched import resolve_eval_dtype
+
         self.network = network
         self.seed = seed
+        self.dtype = resolve_eval_dtype(dtype)
         self.adapter = ObservationAdapter(network, catalog)
         if policy.obs_dim != self.adapter.size:
             raise ValueError(
@@ -110,6 +140,7 @@ class DistributedCoordinator:
                 self.adapter,
                 deterministic=deterministic,
                 rng=np.random.default_rng(child),
+                dtype=self.dtype,
             )
             for node, child in zip(network.node_names, seeds)
         }
@@ -128,6 +159,7 @@ class DistributedCoordinator:
             any_agent.policy,
             deterministic=any_agent.deterministic,
             seed=self.seed,
+            dtype=self.dtype,
         )
 
     def decision_counts(self) -> Dict[str, int]:

@@ -66,6 +66,9 @@ class TrainingConfig:
             evaluation (None reads ``REPRO_EVAL_BATCH``; 1 = serial);
             composes with ``workers``.  See
             :class:`repro.rl.batched.BatchedEpisodeRunner`.
+        eval_dtype: Inference dtype of the batched selection evaluation
+            and of the deployed per-node agents (``"f64"``/``"f32"``;
+            None reads ``REPRO_EVAL_DTYPE``, float64 when unset).
         kfac_threads: ACKTR actor/critic update concurrency (None reads
             ``REPRO_KFAC_THREADS``, default 2; 1 = serial; bit-identical
             either way).
@@ -91,6 +94,7 @@ class TrainingConfig:
     eval_episodes: int = 1
     workers: Optional[int] = None
     eval_batch: Optional[int] = None
+    eval_dtype: Optional[str] = None
     kfac_threads: Optional[int] = None
     stat_interval: int = 1
     seed_timeout: Optional[float] = None
@@ -159,12 +163,16 @@ def train_coordinator(
         workers=training.workers,
         timeout=training.seed_timeout,
         eval_batch=training.eval_batch,
+        eval_dtype=training.eval_dtype,
         recorder=recorder,
     )
+    from repro.rl.batched import resolve_eval_dtype
+
     coordinator = DistributedCoordinator(
         env_config.network,
         env_config.catalog,
         multi_seed.best_policy,
         deterministic=True,
+        dtype=resolve_eval_dtype(training.eval_dtype),
     )
     return TrainingResult(coordinator=coordinator, multi_seed=multi_seed)

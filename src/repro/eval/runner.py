@@ -297,6 +297,9 @@ class SuiteConfig:
     ``eval_batch`` additionally batches the in-process selection
     evaluations of the DRL training runs (None reads
     ``REPRO_EVAL_BATCH``) — processes × in-process batching compose;
+    ``eval_dtype`` selects the inference dtype of both the selection
+    evaluations and the deployed distributed agents (``"f64"``/``"f32"``;
+    None reads ``REPRO_EVAL_DTYPE``, float64 when unset);
     ``kfac_threads``/``stat_interval`` tune the ACKTR optimizer path of
     the training runs (see :class:`~repro.rl.acktr.ACKTRConfig`).
     """
@@ -309,6 +312,7 @@ class SuiteConfig:
     n_steps: int = 32
     workers: Optional[int] = None
     eval_batch: Optional[int] = None
+    eval_dtype: Optional[str] = None
     kfac_threads: Optional[int] = None
     stat_interval: int = 1
 
@@ -346,7 +350,11 @@ class AlgorithmSuite:
                 )
             trained_policy = next(iter(self.coordinator.agents.values())).policy
             factories[DISTRIBUTED_DRL] = partial(
-                DistributedCoordinator, network, catalog, trained_policy
+                DistributedCoordinator,
+                network,
+                catalog,
+                trained_policy,
+                dtype=self.coordinator.dtype,
             )
         if CENTRAL_DRL in self.factories:
             if self.central is None:
@@ -460,6 +468,7 @@ def build_algorithm_suite(
             n_steps=suite.n_steps,
             workers=suite.workers,
             eval_batch=suite.eval_batch,
+            eval_dtype=suite.eval_dtype,
             kfac_threads=suite.kfac_threads,
             stat_interval=suite.stat_interval,
         )

@@ -56,21 +56,25 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.invariants import InvariantViolation
+from repro.nn.mlp import MLPInference
 from repro.rl.policy import ActorCriticPolicy
 from repro.telemetry import NULL_RECORDER, Recorder
 
 __all__ = [
     "ARGMAX_TIE_TOLERANCE",
+    "SERIAL_FALLBACK_MAX_BATCH",
     "EpisodeOutcome",
     "BatchedEvalStats",
     "BatchedEpisodeRunner",
+    "argmax_with_serial_fallback",
     "supports_batched_evaluation",
     "resolve_eval_batch",
+    "resolve_eval_dtype",
 ]
 
 #: Minimum top-two logit margin (relative to the top logit's magnitude)
@@ -78,6 +82,15 @@ __all__ = [
 #: batch-1 GEMM discrepancies are ~1e-13 relative; meaningful action gaps
 #: are orders above 1e-6 — the band between is where the fallback lives.
 ARGMAX_TIE_TOLERANCE = 1e-6
+
+#: Lockstep widths at or below which :class:`BatchedEpisodeRunner` (and
+#: the inference benchmark, which keys its measurement on this constant)
+#: delegate to the plain serial ``act_single`` loop.  At batch 1 the
+#: lockstep engine is pure overhead — clone/replay bookkeeping plus a
+#: batched GEMM that degenerates to a GEMV — measured at ~0.7x the
+#: serial path; the fallback makes ``--eval-batch`` never a
+#: pessimization.
+SERIAL_FALLBACK_MAX_BATCH = 1
 
 #: Cap on the per-round batch sizes kept for telemetry (long evaluations
 #: would otherwise ship one integer per lockstep round).
@@ -112,6 +125,75 @@ def resolve_eval_batch(value: Optional[int]) -> int:
     if value < 1:
         raise ValueError(f"eval batch must be >= 1, got {value}")
     return int(value)
+
+
+#: CLI spellings of the supported inference dtypes.
+_EVAL_DTYPES = {"f64": np.float64, "f32": np.float32}
+
+
+def resolve_eval_dtype(value: Optional[Any] = None) -> np.dtype:
+    """Effective inference dtype: explicit ``value`` (``"f64"``/``"f32"``
+    or a numpy dtype), else the ``REPRO_EVAL_DTYPE`` environment
+    variable, else float64 (the bit-exact default)."""
+    import os
+
+    if value is None:
+        raw = os.environ.get("REPRO_EVAL_DTYPE", "").strip().lower()
+        if not raw:
+            return np.dtype(np.float64)
+        value = raw
+    if isinstance(value, str):
+        key = value.strip().lower()
+        if key not in _EVAL_DTYPES:
+            raise ValueError(
+                f"unknown eval dtype {value!r}; choose from {sorted(_EVAL_DTYPES)}"
+            )
+        return np.dtype(_EVAL_DTYPES[key])
+    dtype = np.dtype(value)
+    if dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+        raise ValueError(f"eval dtype must be float64/float32, got {dtype}")
+    return dtype
+
+
+def argmax_with_serial_fallback(
+    scores: np.ndarray,
+    work: np.ndarray,
+    actions: np.ndarray,
+    serial_scores: Callable[[int], np.ndarray],
+    exact: bool = True,
+) -> int:
+    """Per-row argmax of batched ``scores`` with the near-tie fallback.
+
+    Fills ``actions`` (shape ``(n,)``) with ``argmax(scores[j])``; when
+    ``exact``, every row whose top-two margin is within
+    :data:`ARGMAX_TIE_TOLERANCE` (relative to the top score) is
+    recomputed as ``argmax(serial_scores(j))`` — the caller supplies the
+    exact batch-1 scores there, which is what makes batched float64
+    selection bitwise-identical to the serial path despite ulp-level
+    GEMM-vs-GEMV discrepancies.  ``work`` is an ``(n, k)`` scratch for
+    the runner-up search and may be ``scores`` itself (it is clobbered).
+    Returns the number of fallback rows.
+
+    Shared by :class:`BatchedEpisodeRunner` and the serving engine
+    (:class:`repro.serving.ServingEngine`), so the bit-identity argument
+    lives in exactly one place.
+    """
+    n, k = scores.shape
+    np.argmax(scores, axis=1, out=actions)
+    if k == 1 or not exact or n == 0:
+        return 0
+    rows = np.arange(n)
+    top = scores[rows, actions].copy()
+    if scores is not work:
+        np.copyto(work, scores)
+    work[rows, actions] = -np.inf
+    margin = top - work.max(axis=1)
+    tol = ARGMAX_TIE_TOLERANCE * (1.0 + np.abs(top))
+    fallbacks = 0
+    for j in np.nonzero(margin <= tol)[0]:
+        fallbacks += 1
+        actions[j] = int(np.argmax(serial_scores(int(j))))
+    return fallbacks
 
 
 @dataclass(frozen=True)
@@ -230,7 +312,16 @@ class BatchedEpisodeRunner:
         self.rng = rng
         self.dtype = np.dtype(dtype)
         self.recorder = recorder
-        self._inference = policy.actor_inference(dtype=dtype)
+        # batch == 1 gains nothing from lockstep bookkeeping (measured
+        # ~0.7x serial) — delegate to the plain act_single loop, which is
+        # exact float64 by construction, and skip the workspace build.
+        self._inference: Optional[MLPInference] = (
+            None
+            if batch <= SERIAL_FALLBACK_MAX_BATCH
+            else policy.actor_inference(dtype=dtype)
+        )
+        if self._inference is None:
+            self.dtype = np.dtype(np.float64)
         # float32 can't honour the exactness contract; skip the fallback.
         self._exact = self.dtype == np.dtype(np.float64)
 
@@ -255,6 +346,75 @@ class BatchedEpisodeRunner:
             stats.emit(self.recorder)
             return [], stats
 
+        if self._inference is None:
+            self._run_serial(stats, outcomes, base, n)
+        else:
+            self._run_lockstep(stats, outcomes, base, n)
+
+        stats.wall_seconds = time.perf_counter() - wall_start
+        stats.emit(self.recorder)
+        missing = [i for i, o in enumerate(outcomes) if o is None]
+        if missing:
+            raise InvariantViolation(
+                "batched evaluation finished with unplayed episodes",
+                episode_indices=missing, episodes=n,
+            )
+        return list(outcomes), stats  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+
+    def _run_serial(
+        self,
+        stats: BatchedEvalStats,
+        outcomes: List[Optional[EpisodeOutcome]],
+        base: int,
+        n: int,
+    ) -> None:
+        """The ``batch == 1`` fallback: a plain serial ``act_single``
+        loop over the same replayed episodes — no lockstep bookkeeping,
+        no batched workspaces, always exact float64.  Episode seeding
+        (one spawned child per episode in stochastic mode) matches the
+        lockstep path, so outcomes are identical across batch widths."""
+        rngs = _episode_rngs(self.rng, n) if not self.deterministic else []
+        env = self.env.clone()
+        for k in range(n):
+            obs = env.reset_episode(base + k)
+            if env.current_decision is None:
+                outcomes[k] = EpisodeOutcome(index=k, total_reward=0.0, length=0)
+                continue
+            total = 0.0
+            length = 0
+            info: Dict[str, Any] = {}
+            done = False
+            while not done:
+                action = self.policy.act_single(
+                    obs,
+                    rng=rngs[k] if rngs else None,
+                    deterministic=self.deterministic,
+                )
+                stats.rounds += 1
+                stats.decisions += 1
+                if len(stats.round_batches) < _MAX_RECORDED_ROUNDS:
+                    stats.round_batches.append(1)
+                obs, reward, done, info = env.step(action)
+                total += reward
+                length += 1
+            outcomes[k] = EpisodeOutcome(
+                index=k, total_reward=total, length=length, info=dict(info)
+            )
+
+    # ------------------------------------------------------------------
+
+    def _run_lockstep(
+        self,
+        stats: BatchedEvalStats,
+        outcomes: List[Optional[EpisodeOutcome]],
+        base: int,
+        n: int,
+    ) -> None:
+        inference = self._inference
+        if inference is None:
+            raise InvariantViolation("lockstep run reached without an inference")
         m = min(self.batch, n)
         k_actions = self.policy.num_actions
         obs_mat = np.zeros((m, self.env.observation_size), dtype=np.float64)
@@ -304,7 +464,7 @@ class BatchedEpisodeRunner:
         while live:
             x = obs_mat[:live]
             t0 = time.perf_counter()
-            logits = self._inference.forward(x)
+            logits = inference.forward(x)
             stats.forward_seconds += time.perf_counter() - t0
             self._select_actions(
                 logits, x, actions, noise, scratch, episode_of, rngs, live, stats
@@ -342,16 +502,6 @@ class BatchedEpisodeRunner:
                     totals[j] = totals[live]
                     lengths[j] = lengths[live]
 
-        stats.wall_seconds = time.perf_counter() - wall_start
-        stats.emit(self.recorder)
-        missing = [i for i, o in enumerate(outcomes) if o is None]
-        if missing:
-            raise InvariantViolation(
-                "batched evaluation finished with unplayed episodes",
-                episode_indices=missing, episodes=n,
-            )
-        return list(outcomes), stats  # type: ignore[arg-type]
-
     # ------------------------------------------------------------------
 
     def _select_actions(
@@ -388,19 +538,7 @@ class BatchedEpisodeRunner:
                 u = rngs[episode_of[j]].uniform(1e-12, 1.0, size=(1, k))
                 noise[j] = -np.log(-np.log(u[0]))
             scores = np.add(logits, noise[:live], out=work)
-        out = actions[:live]
-        np.argmax(scores, axis=1, out=out)
-        if k == 1 or not self._exact:
-            return
-        rows = np.arange(live)
-        top = scores[rows, out].copy()
-        if scores is not work:
-            np.copyto(work, scores)
-        work[rows, out] = -np.inf
-        margin = top - work.max(axis=1)
-        tol = ARGMAX_TIE_TOLERANCE * (1.0 + np.abs(top))
-        for j in np.nonzero(margin <= tol)[0]:
-            stats.tie_fallbacks += 1
+        def serial_row(j: int) -> np.ndarray:
             serial = self.policy.logits_single(x[j])
             if not self.deterministic:
                 if noise is None:
@@ -408,4 +546,8 @@ class BatchedEpisodeRunner:
                         "stochastic tie fallback reached without a noise workspace"
                     )
                 serial = serial + noise[j]
-            actions[j] = int(np.argmax(serial))
+            return serial
+
+        stats.tie_fallbacks += argmax_with_serial_fallback(
+            scores, work, actions[:live], serial_row, exact=self._exact
+        )

@@ -67,6 +67,7 @@ def evaluate_policy(
     deterministic: bool = True,
     rng: Optional[np.random.Generator] = None,
     batch: int = 1,
+    dtype: Optional[str] = None,
     recorder: Recorder = NULL_RECORDER,
 ) -> Dict[str, float]:
     """Run ``episodes`` full episodes; returns mean reward and final infos.
@@ -90,10 +91,19 @@ def evaluate_policy(
             (instead of the serial loop's single shared stream), so
             sampled trajectories match the batched runner's serial
             reference, not this function's ``batch=1`` path.
+        dtype: Inference dtype of the batched path — ``"f64"``
+            (bit-identical, default) or ``"f32"`` (fast mode); ``None``
+            reads ``REPRO_EVAL_DTYPE``.  The serial path always runs the
+            exact float64 forward.
         recorder: Telemetry sink; batched runs emit one ``eval_batch``
-            record with round/batch-size/forward-time statistics.
+            record with round/batch-size/forward-time statistics
+            (including the effective ``dtype``).
     """
-    from repro.rl.batched import BatchedEpisodeRunner, supports_batched_evaluation
+    from repro.rl.batched import (
+        BatchedEpisodeRunner,
+        resolve_eval_dtype,
+        supports_batched_evaluation,
+    )
 
     rng = rng or np.random.default_rng(0)
     if batch > 1 and episodes > 1 and supports_batched_evaluation(env):
@@ -104,6 +114,7 @@ def evaluate_policy(
             batch=batch,
             deterministic=deterministic,
             rng=rng,
+            dtype=resolve_eval_dtype(dtype),
             recorder=recorder,
         )
         outcomes, _ = runner.run()
@@ -146,6 +157,8 @@ class _SeedTask:
     eval_episodes: int
     #: Lockstep width of the greedy selection evaluation (1 = serial).
     eval_batch: int = 1
+    #: Inference dtype of the batched selection evaluation ("f64"/"f32").
+    eval_dtype: str = "f64"
     #: Worker-local telemetry stream (merged into the parent's after the
     #: batch; see :meth:`repro.telemetry.JsonlRecorder.for_task`).
     recorder: Recorder = NULL_RECORDER
@@ -164,6 +177,7 @@ def _run_seed_task(task: _SeedTask) -> SeedResult:
         episodes=task.eval_episodes,
         rng=np.random.default_rng(task.seed),
         batch=task.eval_batch,
+        dtype=task.eval_dtype,
         recorder=task.recorder,
     )
     if task.recorder.enabled:
@@ -194,6 +208,7 @@ def train_multi_seed(
     workers: Optional[int] = None,
     timeout: Optional[float] = None,
     eval_batch: Optional[int] = None,
+    eval_dtype: Optional[str] = None,
     recorder: Recorder = NULL_RECORDER,
 ) -> MultiSeedResult:
     """Train ``len(seeds)`` agents and select the best (Alg. 1, line 13).
@@ -218,6 +233,10 @@ def train_multi_seed(
             unset); composes with ``workers`` — processes × batching.
             Deterministic evaluation results are bit-identical either
             way (see :func:`evaluate_policy`).
+        eval_dtype: Inference dtype of the batched selection evaluation
+            (``"f64"``/``"f32"``; default: ``REPRO_EVAL_DTYPE``, float64
+            when unset).  Float32 trades the bit-identity guarantee for
+            speed; serial (``eval_batch=1``) evaluation ignores it.
         recorder: Telemetry sink.  When enabled, each seed's per-update
             ``train_update`` and final ``seed_result`` records stream
             into a worker-local file and are merged back here in seed
@@ -233,9 +252,12 @@ def train_multi_seed(
     if algorithm == "acktr" and not isinstance(config, ACKTRConfig):
         config = ACKTRConfig(**config.__dict__)
     seeds = list(seeds)
-    from repro.rl.batched import resolve_eval_batch
+    from repro.rl.batched import resolve_eval_batch, resolve_eval_dtype
 
     eval_batch = resolve_eval_batch(eval_batch)
+    eval_dtype_str = (
+        "f32" if resolve_eval_dtype(eval_dtype) == np.dtype(np.float32) else "f64"
+    )
 
     # Each seed's trainer makes n_envs factory calls plus one for the
     # greedy evaluation env; an EnvBuilder lets every seed replay its own
@@ -263,6 +285,7 @@ def train_multi_seed(
                 updates=updates_per_seed,
                 eval_episodes=eval_episodes,
                 eval_batch=eval_batch,
+                eval_dtype=eval_dtype_str,
                 recorder=(
                     task_recorders[index] if task_recorders else NULL_RECORDER
                 ),

@@ -1,0 +1,366 @@
+"""Online decision-serving engine with dynamic micro-batching.
+
+The paper's coordinators make one decision per flow per node — a serving
+workload.  :class:`ServingEngine` accepts per-node coordination requests
+(observation vectors), coalesces them in a preallocated ring-buffer
+queue (:class:`~repro.serving.queue.RingBufferQueue`), and flushes
+micro-batches under a **dual trigger**: the queue reaching the maximum
+batch size B, or the oldest request ageing past the latency deadline D.
+Each flush runs **one** batched actor forward over the whole batch
+through the :class:`~repro.nn.mlp.MLPInference` preallocated workspaces
+— the same machinery the batched evaluation engine uses — so the
+per-request cost at saturation is the per-row share of a GEMM instead of
+a full batch-1 forward.
+
+Bit-identity (float64 mode)
+---------------------------
+
+Responses are bitwise-identical to calling ``policy.act`` serially on
+the same observation sequence:
+
+- *Deterministic*: the batched logits feed
+  :func:`repro.rl.batched.argmax_with_serial_fallback` — rows whose
+  top-two margin is within the tie tolerance are recomputed through the
+  exact batch-1 forward, exactly as in batched evaluation.
+- *Stochastic*: the engine draws one ``(1, K)`` uniform block per
+  request **in FIFO submission order** from its single generator — the
+  identical consumption pattern of ``Categorical.sample`` inside a
+  serial ``policy.act`` loop — and takes the Gumbel-max.  The queue
+  never reorders, so the cumulative rng stream matches the serial one.
+
+Float32 mode trades the guarantee for throughput (workspace-cast
+weights, no fallback), mirroring the batched evaluation engine.
+
+Weight hot-swap
+---------------
+
+:meth:`install` stages a new policy from any thread (the staging slot is
+lock-guarded); the engine applies it **at the start of the next flush**,
+never mid-batch, so every response of one flush carries one
+``policy_version`` and queued requests are neither dropped nor
+reordered by a swap.  This is the policy-synchronization hook for
+coordinators that keep serving while training continues elsewhere.
+
+Backpressure
+------------
+
+The queue depth is capped; :meth:`submit` returns ``None`` for a shed
+request and the engine counts sheds — under overload the caller sees
+load-shedding instead of unbounded latency.
+
+The engine core (submit/poll/flush) is single-threaded by design — one
+driver loop owns it; only :meth:`install` may be called concurrently.
+All time handling goes through an injectable ``clock`` so tests drive
+triggers with a virtual clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.invariants import InvariantViolation
+from repro.rl.batched import argmax_with_serial_fallback, resolve_eval_dtype
+from repro.rl.policy import ActorCriticPolicy
+from repro.serving.queue import RingBufferQueue
+from repro.serving.records import Decision, ServingStats
+from repro.telemetry import NULL_RECORDER, Recorder
+
+__all__ = ["ServingConfig", "ServingEngine"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Micro-batching knobs of one serving engine.
+
+    Attributes:
+        max_batch: Flush size trigger B — a flush serves at most this
+            many requests in one batched forward (CLI ``--serve-batch``).
+        deadline_s: Latency deadline D in seconds — a flush fires once
+            the oldest queued request has waited this long, even if the
+            batch is not full (CLI ``--serve-deadline-ms``).
+        queue_capacity: Backpressure cap on queued requests; submits
+            beyond it are shed.  Default: ``4 * max_batch``.
+        dtype: ``"f64"`` (bit-identical to serial ``policy.act``) or
+            ``"f32"`` (fast mode).
+    """
+
+    max_batch: int = 32
+    deadline_s: float = 0.002
+    queue_capacity: Optional[int] = None
+    dtype: str = "f64"
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if not self.deadline_s > 0.0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.queue_capacity is not None and self.queue_capacity < self.max_batch:
+            raise ValueError(
+                f"queue_capacity ({self.queue_capacity}) must be >= "
+                f"max_batch ({self.max_batch})"
+            )
+
+    @property
+    def effective_queue_capacity(self) -> int:
+        return (
+            self.queue_capacity
+            if self.queue_capacity is not None
+            else 4 * self.max_batch
+        )
+
+
+class ServingEngine:
+    """Micro-batching decision server over one actor network.
+
+    Args:
+        policy: Initial policy (version 0); swap with :meth:`install`.
+        config: Batching/deadline/backpressure knobs.
+        deterministic: Greedy argmax responses (default) or Gumbel-max
+            sampling matching serial ``policy.act`` rng consumption.
+        rng: Generator for stochastic mode (required there).
+        clock: Monotonic time source (seconds).  Injectable so tests
+            drive the deadline trigger deterministically; defaults to
+            ``time.perf_counter``.
+        recorder: Telemetry sink for :meth:`emit_telemetry`.
+    """
+
+    def __init__(
+        self,
+        policy: ActorCriticPolicy,
+        config: ServingConfig = ServingConfig(),
+        deterministic: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
+        if not deterministic and rng is None:
+            raise ValueError("stochastic serving needs an rng")
+        self.config = config
+        self.deterministic = deterministic
+        self.rng = rng
+        self.clock = clock
+        self.recorder = recorder
+        self.stats = ServingStats()
+        self._policy = policy
+        self._dtype = resolve_eval_dtype(config.dtype)
+        self._exact = self._dtype == np.dtype(np.float64)
+        self._inference = policy.actor_inference(dtype=self._dtype)
+        self._version = 0
+        self._staged: Optional[Tuple[ActorCriticPolicy, Optional[int]]] = None
+        self._swap_lock = threading.Lock()
+        self._queue = RingBufferQueue(
+            config.effective_queue_capacity, policy.obs_dim
+        )
+        self._next_id = 0
+        self._flush_index = 0
+        # Preallocated flush workspaces (batch rows, ids, times, actions,
+        # Gumbel noise, tie-margin scratch) — no per-flush allocation.
+        b, k = config.max_batch, policy.num_actions
+        self._batch_obs = np.empty((b, policy.obs_dim), dtype=np.float64)
+        self._batch_ids = np.empty(b, dtype=np.int64)
+        self._batch_times = np.empty(b, dtype=np.float64)
+        self._actions = np.empty(b, dtype=np.intp)
+        self._scratch = np.empty((b, k), dtype=np.float64)
+        self._noise = None if deterministic else np.empty((b, k), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def policy(self) -> ActorCriticPolicy:
+        """The currently *applied* policy (staged swaps not yet visible)."""
+        return self._policy
+
+    @property
+    def policy_version(self) -> int:
+        return self._version
+
+    @property
+    def pending(self) -> int:
+        """Requests waiting in the queue."""
+        return len(self._queue)
+
+    @property
+    def queue_full(self) -> bool:
+        return self._queue.is_full
+
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, obs: np.ndarray, now: Optional[float] = None
+    ) -> Optional[int]:
+        """Enqueue one coordination request; returns its request id, or
+        ``None`` when the queue is at capacity (the request is shed —
+        the backpressure signal).  Never flushes; pair with
+        :meth:`poll`."""
+        if now is None:
+            now = self.clock()
+        self.stats.submitted += 1
+        if not self._queue.push(obs, self._next_id, now):
+            self.stats.shed += 1
+            return None
+        request_id = self._next_id
+        self._next_id += 1
+        depth = len(self._queue)
+        if depth > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = depth
+        return request_id
+
+    def ready(self, now: Optional[float] = None) -> Optional[str]:
+        """The trigger that would fire a flush right now (``"size"`` /
+        ``"deadline"``), or None when no flush is due."""
+        depth = len(self._queue)
+        if depth == 0:
+            return None
+        if depth >= self.config.max_batch:
+            return "size"
+        if now is None:
+            now = self.clock()
+        if now - self._queue.oldest_enqueue_time() >= self.config.deadline_s:
+            return "deadline"
+        return None
+
+    def poll(self, now: Optional[float] = None) -> List[Decision]:
+        """Flush one micro-batch if a trigger is due; else return []."""
+        trigger = self.ready(now)
+        if trigger is None:
+            return []
+        return self._flush(trigger)
+
+    def flush(self) -> List[Decision]:
+        """Force one flush of up to ``max_batch`` requests regardless of
+        triggers (used to drain tails); [] when the queue is empty."""
+        if len(self._queue) == 0:
+            return []
+        return self._flush("forced")
+
+    def drain(self) -> List[Decision]:
+        """Force flushes until the queue is empty; returns all decisions."""
+        decisions: List[Decision] = []
+        while len(self._queue):
+            decisions.extend(self._flush("forced"))
+        return decisions
+
+    # ------------------------------------------------------------------
+
+    def install(
+        self, policy: ActorCriticPolicy, version: Optional[int] = None
+    ) -> None:
+        """Stage a policy hot-swap; applied atomically at the start of
+        the next flush (never mid-batch).  Thread-safe: a trainer thread
+        may call this while the serving loop runs.  ``version`` labels
+        the new policy (default: current version + 1 at apply time).
+        Staging twice between flushes keeps only the latest policy."""
+        if (
+            policy.obs_dim != self._policy.obs_dim
+            or policy.num_actions != self._policy.num_actions
+        ):
+            raise ValueError(
+                f"hot-swap shape mismatch: serving ({self._policy.obs_dim} obs, "
+                f"{self._policy.num_actions} actions) vs installed "
+                f"({policy.obs_dim} obs, {policy.num_actions} actions)"
+            )
+        with self._swap_lock:
+            self._staged = (policy, version)
+
+    def _apply_staged_swap(self) -> None:
+        with self._swap_lock:
+            staged = self._staged
+            self._staged = None
+        if staged is None:
+            return
+        policy, version = staged
+        self._policy = policy
+        self._inference = policy.actor_inference(dtype=self._dtype)
+        self._version = self._version + 1 if version is None else version
+        self.stats.swaps += 1
+
+    # ------------------------------------------------------------------
+
+    def _flush(self, trigger: str) -> List[Decision]:
+        # Swap boundary: a staged policy becomes current *before* the
+        # batch is drained, so the entire flush is served by one version.
+        self._apply_staged_swap()
+        start = self.clock()
+        n = self._queue.pop_into(
+            self._batch_obs, self._batch_ids, self._batch_times,
+            self.config.max_batch,
+        )
+        if n == 0:
+            raise InvariantViolation("flush fired on an empty queue")
+        x = self._batch_obs[:n]
+        f0 = self.clock()
+        logits = self._inference.forward(x)
+        forward_seconds = self.clock() - f0
+        actions = self._actions[:n]
+        work = self._scratch[:n]
+        noise = self._noise
+        if self.deterministic:
+            scores: np.ndarray = logits
+        else:
+            if noise is None or self.rng is None:
+                raise InvariantViolation(
+                    "stochastic flush reached without noise workspace/rng"
+                )
+            k = logits.shape[1]
+            for j in range(n):
+                # One (1, K) uniform block per request in FIFO order —
+                # the exact draw Categorical.sample makes inside a
+                # serial policy.act call for the same request.
+                u = self.rng.uniform(1e-12, 1.0, size=(1, k))
+                noise[j] = -np.log(-np.log(u[0]))
+            scores = np.add(logits, noise[:n], out=work)
+
+        def serial_row(j: int) -> np.ndarray:
+            serial = self._policy.logits_single(x[j])
+            if noise is not None:
+                serial = serial + noise[j]
+            return serial
+
+        tie_fallbacks = argmax_with_serial_fallback(
+            scores, work, actions, serial_row, exact=self._exact
+        )
+        completion = self.clock()
+        self._flush_index += 1
+        decisions = [
+            Decision(
+                request_id=int(self._batch_ids[j]),
+                action=int(actions[j]),
+                policy_version=self._version,
+                enqueue_time=float(self._batch_times[j]),
+                completion_time=completion,
+                batch_size=n,
+                flush_index=self._flush_index - 1,
+                trigger=trigger,
+            )
+            for j in range(n)
+        ]
+        self.stats.record_flush(
+            batch_size=n,
+            trigger=trigger,
+            latencies=[d.latency_seconds for d in decisions],
+            flush_seconds=completion - start,
+            forward_seconds=forward_seconds,
+            tie_fallbacks=tie_fallbacks,
+        )
+        return decisions
+
+    # ------------------------------------------------------------------
+
+    def emit_telemetry(self, **extra: Any) -> None:
+        """Emit one ``serving`` record with the engine's configuration
+        merged in (no-op when the recorder is disabled)."""
+        self.stats.emit(
+            self.recorder,
+            batch=self.config.max_batch,
+            deadline_ms=self.config.deadline_s * 1e3,
+            queue_capacity=self.config.effective_queue_capacity,
+            dtype=str(self._dtype),
+            deterministic=self.deterministic,
+            policy_version=self._version,
+            **extra,
+        )

@@ -83,6 +83,22 @@ Record kinds
     amortization).  Purely timing-valued, so determinism checks drop
     it entirely.
 
+``serving``
+    One serving-engine run (:class:`repro.serving.ServingEngine`):
+    ``requests`` (submitted), ``served``, ``shed`` (rejected at the
+    queue-depth cap), ``flushes``; optionally the engine configuration
+    (``batch``, ``deadline_ms``, ``queue_capacity``, ``dtype``,
+    ``deterministic``, ``rate``), flush-trigger split (``size_flushes``
+    / ``deadline_flushes`` / ``forced_flushes``), ``batch_histogram``
+    (batch size -> flush count) with ``mean_batch``/``max_batch``,
+    ``max_queue_depth``, latency percentiles
+    (``latency_p50_ms``/``latency_p95_ms``/``latency_p99_ms``/
+    ``latency_max_ms``), ``max_flush_ms``, hot-swap accounting
+    (``swaps``, ``policy_version``), ``tie_fallbacks``,
+    ``forward_seconds``, ``wall_seconds``, and
+    ``decisions_per_second``.  Latency-valued throughout, so
+    determinism checks drop the kind entirely.
+
 ``note``
     Freeform annotation: ``message``.
 
@@ -134,7 +150,9 @@ TIMING_FIELDS = frozenset(
 #: Record kinds that carry only timing information (dropped entirely by
 #: :func:`canonical_stream`; their non-timing fields — mode, workers —
 #: legitimately differ between serial and parallel runs).
-TIMING_KINDS = frozenset({"task_timing", "batch_timing", "phase", "train_phases"})
+TIMING_KINDS = frozenset(
+    {"task_timing", "batch_timing", "phase", "train_phases", "serving"}
+)
 
 _NUM = numbers.Real
 _INT = numbers.Integral
@@ -209,6 +227,12 @@ RECORD_SCHEMAS: Dict[str, Dict[str, Any]] = {
         "obs_build": _NUM,
         "policy_forward": _NUM,
         "optimizer_update": _NUM,
+    },
+    "serving": {
+        "requests": _INT,
+        "served": _INT,
+        "shed": _INT,
+        "flushes": _INT,
     },
     "note": {
         "message": str,

@@ -230,6 +230,40 @@ def summarize_run(directory: os.PathLike) -> str:
             f"forward {forward:.2f}s"
             + (f" | {_mean(rate):.0f} decisions/s" if rate else "")
         )
+    serving = by_kind.get("serving", [])
+    if serving:
+        requests = sum(int(r["requests"]) for r in serving)
+        served = sum(int(r["served"]) for r in serving)
+        shed = sum(int(r["shed"]) for r in serving)
+        flushes = sum(int(r["flushes"]) for r in serving)
+        mean_batch = served / flushes if flushes else 0.0
+        rates = [
+            float(r["decisions_per_second"])
+            for r in serving
+            if "decisions_per_second" in r
+        ]
+        swaps = sum(int(r.get("swaps", 0)) for r in serving)
+        lines.append(
+            f"serving: {len(serving)} run(s) | {requests} requests "
+            f"({served} served, {shed} shed) | {flushes} flushes "
+            f"mean batch {mean_batch:.1f}"
+            + (f" | {_mean(rates):.0f} decisions/s" if rates else "")
+            + (f" | {swaps} hot-swaps" if swaps else "")
+        )
+        p99s = [
+            float(r["latency_p99_ms"]) for r in serving if "latency_p99_ms" in r
+        ]
+        if p99s:
+            p50s = [
+                float(r["latency_p50_ms"])
+                for r in serving
+                if "latency_p50_ms" in r
+            ]
+            lines.append(
+                f"  latency: p50 {_fmt(_mean(p50s), '.2f')}ms "
+                f"p99 {_fmt(_mean(p99s), '.2f')}ms (worst run "
+                f"p99 {max(p99s):.2f}ms)"
+            )
     for batch in by_kind.get("batch_timing", []):
         lines.append(
             f"batch {batch['name']}: {batch['mode']} "

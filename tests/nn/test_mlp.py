@@ -177,6 +177,24 @@ class TestMLPInference:
         assert np.allclose(fresh, mlp.forward(x.astype(np.float64)),
                            rtol=1e-4, atol=1e-5)
 
+    def test_float32_reuses_workspace_without_allocating(self):
+        """Repeat forwards at or below capacity must run entirely in the
+        preallocated buffers — same backing arrays, no growth."""
+        from repro.nn.mlp import MLPInference
+
+        mlp = MLP(6, [32, 32], 4, rng=7)
+        inference = MLPInference(mlp, dtype=np.float32)
+        rng = np.random.default_rng(9)
+        inference.forward(rng.normal(size=(32, 6)))  # allocate capacity 32
+        aug_bases = [a for a in inference._aug]
+        out_bases = [o for o in inference._out]
+        for n in (32, 11, 32, 3, 1, 32):
+            out = inference.forward(rng.normal(size=(n, 6)))
+            assert out.base is out_bases[-1]
+            assert all(a is b for a, b in zip(inference._aug, aug_bases))
+            assert all(a is b for a, b in zip(inference._out, out_bases))
+        assert inference._capacity == 32
+
     def test_rejects_unsupported_dtype(self):
         from repro.nn.mlp import MLPInference
 

@@ -18,7 +18,9 @@ from repro.rl.batched import (
     BatchedEpisodeRunner,
     BatchedEvalStats,
     EpisodeOutcome,
+    SERIAL_FALLBACK_MAX_BATCH,
     resolve_eval_batch,
+    resolve_eval_dtype,
     supports_batched_evaluation,
 )
 from repro.rl.policy import ActorCriticPolicy
@@ -213,6 +215,23 @@ class TestEvaluatePolicyWrapper:
         b = evaluate_policy(policy, make_env(seed=1), episodes=1)
         assert a == b
 
+    def test_float32_end_to_end_success_ratio_close(self):
+        """f32 inference trades bit-identity for speed; on a fixed seed
+        the evaluated success ratio must stay within a small delta of the
+        exact f64 run."""
+        policy = make_policy(make_env())
+        exact = evaluate_policy(policy, make_env(seed=31), episodes=6, batch=4)
+        fast = evaluate_policy(
+            policy, make_env(seed=31), episodes=6, batch=4, dtype="f32"
+        )
+        assert set(fast) == set(exact)
+        assert fast["success_ratio"] == pytest.approx(
+            exact["success_ratio"], abs=0.1
+        )
+        assert fast["mean_episode_reward"] == pytest.approx(
+            exact["mean_episode_reward"], rel=0.25, abs=5.0
+        )
+
     def test_env_without_protocol_falls_back(self):
         class Minimal:
             """Steps like an env but lacks the replay protocol."""
@@ -352,3 +371,93 @@ class TestResolveEvalBatch:
         # Fallback tolerance must stay tiny relative to O(1) logits, or
         # the "batched" path would degenerate into serial recomputation.
         assert ARGMAX_TIE_TOLERANCE <= 1e-5
+
+
+class TestSerialFallback:
+    """At batch <= SERIAL_FALLBACK_MAX_BATCH the runner must delegate to
+    the plain serial act_single loop (lockstep bookkeeping is pure
+    overhead there) while producing identical outcomes."""
+
+    def test_fallback_constant_covers_batch_one(self):
+        assert SERIAL_FALLBACK_MAX_BATCH >= 1
+
+    def test_batch_one_skips_lockstep_engine(self):
+        env = make_env(seed=2)
+        runner = BatchedEpisodeRunner(make_policy(env), env, episodes=3, batch=1)
+        assert runner._inference is None
+
+    def test_batch_one_matches_serial_and_batched(self):
+        episodes = 4
+        expected = serial_reference(
+            make_policy(make_env()), make_env(seed=17), episodes
+        )
+        env = make_env(seed=17)
+        outcomes, stats = BatchedEpisodeRunner(
+            make_policy(env), env, episodes=episodes, batch=1
+        ).run()
+        assert as_tuples(outcomes) == expected
+        env = make_env(seed=17)
+        batched, _ = BatchedEpisodeRunner(
+            make_policy(env), env, episodes=episodes, batch=4
+        ).run()
+        assert as_tuples(batched) == as_tuples(outcomes)
+        assert stats.episodes == episodes
+        assert stats.decisions == sum(o.length for o in outcomes)
+
+    def test_batch_one_forces_float64(self):
+        """float32 only changes the batched GEMM; the serial fallback runs
+        the exact historical act_single path, so dtype reads f64."""
+        env = make_env(seed=2)
+        runner = BatchedEpisodeRunner(
+            make_policy(env), env, episodes=2, batch=1, dtype=np.float32
+        )
+        assert runner.dtype == np.dtype(np.float64)
+        _, stats = runner.run()
+        assert stats.dtype == "float64"
+        assert stats.tie_fallbacks == 0
+
+    def test_batch_one_stochastic_matches_serial(self):
+        episodes = 3
+        expected = serial_reference(
+            make_policy(make_env()),
+            make_env(seed=8),
+            episodes,
+            deterministic=False,
+            rngs=np.random.default_rng(77).spawn(episodes),
+        )
+        env = make_env(seed=8)
+        outcomes, _ = BatchedEpisodeRunner(
+            make_policy(env),
+            env,
+            episodes=episodes,
+            batch=1,
+            deterministic=False,
+            rng=np.random.default_rng(77),
+        ).run()
+        assert as_tuples(outcomes) == expected
+
+
+class TestResolveEvalDtype:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_DTYPE", "f32")
+        assert resolve_eval_dtype("f64") == np.dtype(np.float64)
+
+    def test_accepts_strings_and_numpy_dtypes(self):
+        assert resolve_eval_dtype("f32") == np.dtype(np.float32)
+        assert resolve_eval_dtype("F64") == np.dtype(np.float64)
+        assert resolve_eval_dtype(np.float32) == np.dtype(np.float32)
+        assert resolve_eval_dtype(np.dtype(np.float64)) == np.dtype(np.float64)
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_DTYPE", "f32")
+        assert resolve_eval_dtype(None) == np.dtype(np.float32)
+
+    def test_default_is_bit_exact_float64(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EVAL_DTYPE", raising=False)
+        assert resolve_eval_dtype(None) == np.dtype(np.float64)
+
+    def test_rejects_unknown_spellings_and_dtypes(self):
+        with pytest.raises(ValueError, match="dtype"):
+            resolve_eval_dtype("f16")
+        with pytest.raises(ValueError, match="float64/float32"):
+            resolve_eval_dtype(np.int32)

@@ -59,6 +59,11 @@ EXAMPLES = {
         "wall_seconds": 4.0, "sim_advance": 0.5, "obs_build": 0.2,
         "policy_forward": 0.6, "optimizer_update": 2.5,
     },
+    "serving": {
+        "kind": "serving", "requests": 128, "served": 120, "shed": 8,
+        "flushes": 17, "mean_batch": 7.1, "decisions_per_second": 52000.0,
+        "swaps": 2, "latency_p99_ms": 1.8,
+    },
     "note": {"kind": "note", "message": "hello"},
 }
 

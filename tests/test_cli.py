@@ -26,6 +26,26 @@ class TestParser:
                 ["evaluate", "--policy", "x.npz", "--algorithm", "sp"]
             )
 
+    def test_eval_dtype_flag(self):
+        for command in ("train -o p.npz", "evaluate --algorithm sp",
+                        "compare", "serve-bench"):
+            args = build_parser().parse_args(
+                command.split() + ["--eval-dtype", "f32"]
+            )
+            assert args.eval_dtype == "f32"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--algorithm", "sp",
+                                       "--eval-dtype", "f16"])
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.serve_batch == 32
+        assert args.serve_deadline_ms == 2.0
+        assert args.rate == 0.0
+        assert args.swap_every == 0
+        assert args.queue_capacity is None
+        assert args.eval_dtype is None
+
 
 class TestTopologyCommand:
     def test_table(self, capsys):
@@ -76,6 +96,31 @@ class TestTrainEvaluateRoundtrip:
         assert "success=" in capsys.readouterr().out
 
 
+class TestServeBenchCommand:
+    def test_open_loop_reports_latency(self, capsys):
+        code = main([
+            "serve-bench", "--pattern", "fixed", "--ingress", "1",
+            "--horizon", "200", "--requests", "64", "--pool", "16",
+            "--rate", "3000", "--serve-batch", "8",
+            "--eval-dtype", "f32",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open loop @ 3000 req/s" in out
+        assert "dtype f32" in out
+        assert "latency p50" in out
+
+    def test_eval_dtype_env_var(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_DTYPE", "f32")
+        code = main([
+            "serve-bench", "--pattern", "fixed", "--ingress", "1",
+            "--horizon", "200", "--requests", "32", "--pool", "16",
+            "--serve-batch", "8",
+        ])
+        assert code == 0
+        assert "dtype f32" in capsys.readouterr().out
+
+
 class TestTelemetryCommand:
     def test_summarize_requires_directory(self):
         with pytest.raises(SystemExit):
@@ -110,6 +155,24 @@ class TestTelemetryCommand:
         assert "name=train" in out
         assert "training:" in out
         assert "best agent" in out
+
+    def test_serve_bench_with_telemetry(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        code = main([
+            "serve-bench", "--pattern", "fixed", "--ingress", "1",
+            "--horizon", "200", "--requests", "128", "--pool", "32",
+            "--serve-batch", "8", "--swap-every", "50",
+            "--telemetry", str(run_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve-bench: saturation" in out
+        assert "served 128 shed 0" in out
+        assert "swaps 2" in out
+
+        code = main(["telemetry", "summarize", str(run_dir)])
+        assert code == 0
+        assert "serving:" in capsys.readouterr().out
 
     def test_evaluate_with_telemetry(self, tmp_path, capsys):
         run_dir = tmp_path / "run"
